@@ -1,0 +1,75 @@
+// CP vs Tucker context experiment: the paper motivates Tucker as the
+// generalization of CP that can additionally expose *relations* (the core
+// tensor). This bench fits both on the same MovieLens-like data and
+// reports fit quality and missing-entry prediction at matched parameter
+// budgets (CP rank R chosen so N·I·R ≈ N·I·J + Jᴺ).
+#include "baselines/cp_als.h"
+#include "bench/bench_common.h"
+#include "data/movielens_sim.h"
+#include "data/split.h"
+
+int main() {
+  using namespace ptucker;
+  using namespace ptucker::bench;
+
+  MovieLensConfig config;
+  config.num_users = 600;
+  config.num_movies = 200;
+  config.num_years = 12;
+  config.num_hours = 24;
+  config.nnz = 20000;
+  MovieLensData data = SimulateMovieLens(config);
+
+  PrintHeader("CP-ALS vs P-Tucker on MovieLens-like data",
+              "90/10 split, 10 iterations; rank-matched parameter budgets");
+
+  Rng rng(0xCF);
+  auto split = SplitObservedEntries(data.tensor, 0.1, rng);
+
+  TablePrinter table({"method", "params", "secs/iter", "recon error",
+                      "test RMSE"});
+
+  {
+    PTuckerOptions options;
+    options.core_dims = {5, 5, 4, 5};
+    options.max_iterations = 10;
+    MethodOutcome outcome = RunPTucker(split.train, options, &split.test);
+    std::int64_t params = 5 * 5 * 4 * 5;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      params += split.train.dim(n) * options.core_dims[
+          static_cast<std::size_t>(n)];
+    }
+    table.AddRow({"P-Tucker J=(5,5,4,5)", std::to_string(params),
+                  outcome.TimeCell(), outcome.ErrorCell(),
+                  outcome.RmseCell()});
+  }
+
+  for (const std::int64_t rank : {5, 8}) {
+    CpOptions options;
+    options.rank = rank;
+    options.max_iterations = 10;
+    MethodOutcome outcome = RunWithBudget(
+        kDefaultBudgetBytes,
+        [&](MemoryTracker* tracker, MethodOutcome* out) {
+          options.tracker = tracker;
+          CpResult result = CpAlsDecompose(split.train, options);
+          out->seconds_per_iteration = result.SecondsPerIteration();
+          out->final_error = result.final_error;
+          TuckerFactorization model = result.ToTucker();
+          out->test_rmse = TestRmse(split.test, model.core, model.factors);
+          out->model = std::move(model);
+        });
+    std::int64_t params = 0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      params += split.train.dim(n) * rank;
+    }
+    table.AddRow({"CP-ALS R=" + std::to_string(rank),
+                  std::to_string(params), outcome.TimeCell(),
+                  outcome.ErrorCell(), outcome.RmseCell()});
+  }
+  table.Print();
+  std::printf("\n(CP is the superdiagonal-core special case (paper §II); "
+              "Tucker's dense core additionally captures the cross-column "
+              "relations Table VI mines)\n");
+  return 0;
+}

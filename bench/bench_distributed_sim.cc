@@ -1,0 +1,60 @@
+// Distributed-execution simulation (the paper's future work: "extending
+// P-TUCKER to distributed platforms"). Extends Fig. 10 beyond physical
+// cores: compute makespan, parallel efficiency, and allgather volume vs
+// simulated worker count, for naive block partitioning vs the
+// workload-aware greedy partitioner (§III-D's distributed analog).
+#include "bench/bench_common.h"
+#include "data/movielens_sim.h"
+#include "distributed/sim_cluster.h"
+
+int main() {
+  using namespace ptucker;
+  using namespace ptucker::bench;
+
+  MovieLensConfig config;
+  config.num_users = 1000;
+  config.num_movies = 400;
+  config.num_years = 12;
+  config.num_hours = 24;
+  config.nnz = 40000;
+  config.popularity_skew = 1.2;
+  MovieLensData data = SimulateMovieLens(config);
+
+  PrintHeader("Distributed P-Tucker simulation (future-work extension)",
+              "MovieLens-like (skew 1.2), J=4, 2 iterations; ring "
+              "allgather cost model");
+
+  PTuckerOptions options;
+  options.core_dims = {4, 4, 4, 4};
+  options.max_iterations = 2;
+  options.tolerance = 0.0;
+
+  TablePrinter table({"workers", "partition", "sim speed-up", "efficiency",
+                      "allgather/iter"});
+  std::int64_t serial_makespan = 0;
+  for (const std::int64_t workers : {1, 2, 4, 8, 16, 32}) {
+    for (const auto strategy :
+         {PartitionStrategy::kBlock, PartitionStrategy::kGreedy}) {
+      DistributedPTuckerResult outcome =
+          SimulateDistributedPTucker(data.tensor, options, workers, strategy);
+      const std::int64_t makespan = outcome.stats.makespan_per_iteration[0];
+      if (workers == 1 && strategy == PartitionStrategy::kBlock) {
+        serial_makespan = makespan;
+      }
+      table.AddRow(
+          {std::to_string(workers),
+           strategy == PartitionStrategy::kBlock ? "block" : "greedy",
+           FormatDouble(static_cast<double>(serial_makespan) /
+                            static_cast<double>(makespan), 2),
+           FormatDouble(outcome.stats.Efficiency(0), 3),
+           FormatBytes(outcome.stats.total_comm_bytes /
+                       outcome.stats.iterations_run)});
+    }
+  }
+  table.Print();
+  std::printf("\n(speed-up is compute-makespan based — communication is "
+              "reported separately; greedy should hold near-1.0 efficiency "
+              "where block degrades under skew. Factors are verified "
+              "identical to the shared-memory solver in the test suite.)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §IV-D ablation: dynamic scheduling (the paper's "careful distribution
+// of work") vs naive static scheduling on a popularity-skewed tensor.
+// The paper reports 1.5x on MovieLens with 20 threads; with 2 cores the
+// gap is smaller but dynamic must not lose.
+#include "bench/bench_common.h"
+#include "data/movielens_sim.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+int main() {
+  using namespace ptucker;
+  using namespace ptucker::bench;
+
+  PrintHeader("Scheduling ablation (paper §IV-D)",
+              "skewed tensors, T=2, 3 iterations; dynamic vs naive static");
+
+  TablePrinter table({"workload", "dynamic secs/iter", "static secs/iter",
+                      "speed-up"});
+
+  auto run_pair = [&](const std::string& name, const SparseTensor& x,
+                      const std::vector<std::int64_t>& ranks) {
+    PTuckerOptions options;
+    options.core_dims = ranks;
+    options.max_iterations = 3;
+    options.tolerance = 0.0;
+    options.num_threads = 2;
+    // Warm-up pass (caches, page faults), then best-of-2 per schedule to
+    // suppress noise from the shared container.
+    options.max_iterations = 1;
+    RunPTucker(x, options);
+    options.max_iterations = 3;
+    auto best_of = [&](Scheduling scheduling) {
+      options.scheduling = scheduling;
+      MethodOutcome a = RunPTucker(x, options);
+      MethodOutcome b = RunPTucker(x, options);
+      return a.seconds_per_iteration < b.seconds_per_iteration ? a : b;
+    };
+    MethodOutcome dynamic_outcome = best_of(Scheduling::kDynamic);
+    MethodOutcome static_outcome = best_of(Scheduling::kStatic);
+    table.AddRow({name, dynamic_outcome.TimeCell(),
+                  static_outcome.TimeCell(),
+                  FormatDouble(static_outcome.seconds_per_iteration /
+                                   dynamic_outcome.seconds_per_iteration,
+                               2)});
+  };
+
+  {
+    MovieLensConfig config;
+    config.num_users = 800;
+    config.num_movies = 300;
+    config.num_years = 10;
+    config.num_hours = 24;
+    config.nnz = 30000;
+    config.popularity_skew = 1.3;  // heavy skew: slice sizes imbalanced
+    MovieLensData data = SimulateMovieLens(config);
+    run_pair("MovieLens-like (skew 1.3)", data.tensor, {5, 5, 5, 5});
+  }
+  {
+    Rng rng(2);
+    SparseTensor x = SkewedSparseTensor({5000, 5000, 5000}, 100000, 1.4, rng);
+    run_pair("synthetic Zipf(1.4)", x, {5, 5, 5});
+  }
+  {
+    Rng rng(3);
+    SparseTensor x = UniformCubicTensor(3, 5000, 100000, rng);
+    run_pair("uniform (control)", x, {5, 5, 5});
+  }
+  table.Print();
+  std::printf("\n(speed-up = static/dynamic; > 1 means dynamic wins. The "
+              "effect grows with skew and thread count — the paper saw "
+              "1.5x at 20 threads)\n");
+  return 0;
+}

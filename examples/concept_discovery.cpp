@@ -1,0 +1,82 @@
+// Concept and relation discovery (paper §V, Tables V and VI): fit
+// P-Tucker on a simulated MovieLens tensor with planted genres and
+// (genre, hour) affinities, then recover them from the factorization.
+//
+//   $ ./concept_discovery
+#include <cstdio>
+
+#include "analytics/discovery.h"
+#include "core/ptucker.h"
+#include "data/movielens_sim.h"
+
+int main() {
+  using namespace ptucker;
+
+  MovieLensConfig config;
+  config.num_users = 300;
+  config.num_movies = 90;
+  config.num_years = 8;
+  config.num_hours = 24;
+  config.num_genres = 3;
+  config.nnz = 15000;
+  config.noise_stddev = 0.03;
+  MovieLensData data = SimulateMovieLens(config);
+
+  PTuckerOptions options;
+  options.core_dims = {5, 5, 3, 4};
+  options.max_iterations = 12;
+  PTuckerResult result = PTuckerDecompose(data.tensor, options);
+  std::printf("fitted P-Tucker (error %.3f) on %lld ratings\n",
+              result.final_error,
+              static_cast<long long>(data.tensor.nnz()));
+
+  // ---- Concept discovery (Table V): cluster the movie factor rows. ----
+  const std::int64_t movie_mode = 1;
+  auto concepts = DiscoverConcepts(result.model, movie_mode,
+                                   config.num_genres);
+  std::vector<std::int64_t> assignments(
+      static_cast<std::size_t>(config.num_movies), -1);
+  for (const auto& concept_found : concepts) {
+    for (std::int64_t member : concept_found.members) {
+      assignments[static_cast<std::size_t>(member)] =
+          concept_found.cluster_id;
+    }
+  }
+  std::printf("\nconcepts from k-means on the movie factor matrix "
+              "(planted genre in brackets):\n");
+  for (const auto& concept_found : concepts) {
+    std::printf("  concept %lld: ",
+                static_cast<long long>(concept_found.cluster_id));
+    for (std::size_t m = 0; m < 6 && m < concept_found.members.size(); ++m) {
+      const std::int64_t movie = concept_found.members[m];
+      std::printf("movie%lld[g%lld] ", static_cast<long long>(movie),
+                  static_cast<long long>(
+                      data.movie_genre[static_cast<std::size_t>(movie)]));
+    }
+    std::printf("... (%lld movies)\n",
+                static_cast<long long>(concept_found.members.size()));
+  }
+  std::printf("cluster purity vs planted genres: %.2f (chance ~%.2f)\n",
+              ClusterPurity(assignments, data.movie_genre),
+              1.0 / static_cast<double>(config.num_genres));
+
+  // ---- Relation discovery (Table VI): top core entries. ----
+  auto relations = DiscoverRelations(result.model, 3);
+  std::printf("\ntop-3 relations from the core tensor:\n");
+  for (const auto& relation : relations) {
+    std::printf("  G(");
+    for (std::size_t k = 0; k < relation.core_index.size(); ++k) {
+      std::printf("%s%lld", k ? "," : "",
+                  static_cast<long long>(relation.core_index[k]));
+    }
+    std::printf(") = %+.3f — strongest hours: ", relation.strength);
+    for (std::int64_t hour :
+         TopEntitiesForRelation(result.model, relation, /*mode=*/3, 4)) {
+      std::printf("%lld:00 ", static_cast<long long>(hour));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(planted truth: each genre has 2 boosted hours; see "
+              "MovieLensData::genre_hour_boost)\n");
+  return 0;
+}

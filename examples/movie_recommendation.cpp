@@ -1,0 +1,96 @@
+// Movie recommendation on a simulated MovieLens-style tensor
+// (user, movie, year, hour; rating) — the paper's motivating workload.
+//
+//   $ ./movie_recommendation
+//
+// Trains P-Tucker on 90% of the ratings, reports test RMSE against the
+// held-out 10% (the Fig. 11 metric), and prints top recommendations for a
+// user, comparing P-Tucker with the zero-imputing HOOI baseline.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/hooi.h"
+#include "core/ptucker.h"
+#include "core/reconstruction.h"
+#include "data/movielens_sim.h"
+#include "data/split.h"
+#include "util/random.h"
+
+int main() {
+  using namespace ptucker;
+
+  // Simulated MovieLens: planted genres + Zipf popularity (see
+  // data/movielens_sim.h for what is planted and why).
+  MovieLensConfig config;
+  config.num_users = 400;
+  config.num_movies = 150;
+  config.num_years = 10;
+  config.num_hours = 24;
+  config.nnz = 25000;
+  MovieLensData data = SimulateMovieLens(config);
+  std::printf("simulated MovieLens tensor: %lld users x %lld movies x "
+              "%lld years x %lld hours, %lld ratings\n",
+              static_cast<long long>(config.num_users),
+              static_cast<long long>(config.num_movies),
+              static_cast<long long>(config.num_years),
+              static_cast<long long>(config.num_hours),
+              static_cast<long long>(data.tensor.nnz()));
+
+  // 90/10 split, as in the paper (§IV-A1).
+  Rng rng(7);
+  auto split = SplitObservedEntries(data.tensor, 0.1, rng);
+
+  PTuckerOptions options;
+  options.core_dims = {8, 8, 4, 6};
+  options.max_iterations = 12;
+  PTuckerResult ptucker = PTuckerDecompose(split.train, options);
+  const double ptucker_rmse =
+      TestRmse(split.test, ptucker.model.core, ptucker.model.factors);
+
+  HooiOptions hooi_options;
+  hooi_options.core_dims = options.core_dims;
+  hooi_options.max_iterations = 12;
+  BaselineResult hooi = HooiDecompose(split.train, hooi_options);
+  const double hooi_rmse =
+      TestRmse(split.test, hooi.model.core, hooi.model.factors);
+
+  std::printf("\ntest RMSE  (lower is better)\n");
+  std::printf("  P-Tucker : %.4f\n", ptucker_rmse);
+  std::printf("  HOOI     : %.4f   (misses because it treats missing "
+              "ratings as zeros)\n", hooi_rmse);
+
+  // Recommend: unseen movies with the highest predicted rating for one
+  // user at (latest year, 9pm).
+  const std::int64_t user = 3;
+  const std::int64_t year = config.num_years - 1;
+  const std::int64_t hour = 21;
+  std::vector<bool> seen(static_cast<std::size_t>(config.num_movies), false);
+  for (std::int64_t e = 0; e < split.train.nnz(); ++e) {
+    if (split.train.index(e, 0) == user) {
+      seen[static_cast<std::size_t>(split.train.index(e, 1))] = true;
+    }
+  }
+  std::vector<std::pair<double, std::int64_t>> scored;
+  for (std::int64_t movie = 0; movie < config.num_movies; ++movie) {
+    if (seen[static_cast<std::size_t>(movie)]) continue;
+    const std::int64_t coordinate[4] = {user, movie, year, hour};
+    scored.emplace_back(ptucker.model.Predict(coordinate), movie);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+
+  std::printf("\ntop-5 recommendations for user %lld at (year %lld, %lld:00)"
+              " [planted user genre: %lld]\n",
+              static_cast<long long>(user), static_cast<long long>(year),
+              static_cast<long long>(hour),
+              static_cast<long long>(
+                  data.user_genre[static_cast<std::size_t>(user)]));
+  for (int r = 0; r < 5 && r < static_cast<int>(scored.size()); ++r) {
+    const auto [score, movie] = scored[static_cast<std::size_t>(r)];
+    std::printf("  movie %3lld  predicted %.3f  (genre %lld)\n",
+                static_cast<long long>(movie), score,
+                static_cast<long long>(
+                    data.movie_genre[static_cast<std::size_t>(movie)]));
+  }
+  return 0;
+}

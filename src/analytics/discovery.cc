@@ -1,0 +1,95 @@
+#include "analytics/discovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+std::vector<Concept> DiscoverConcepts(const TuckerFactorization& model,
+                                      std::int64_t mode, std::int64_t k,
+                                      std::uint64_t seed) {
+  PTUCKER_CHECK(mode >= 0 &&
+                mode < static_cast<std::int64_t>(model.factors.size()));
+  const Matrix& factor = model.factors[static_cast<std::size_t>(mode)];
+
+  KMeansOptions options;
+  options.k = k;
+  options.seed = seed;
+  const KMeansResult clustering = KMeansRows(factor, options);
+
+  std::vector<Concept> concepts(static_cast<std::size_t>(k));
+  for (std::int64_t c = 0; c < k; ++c) {
+    concepts[static_cast<std::size_t>(c)].cluster_id = c;
+  }
+  for (std::int64_t row = 0; row < factor.rows(); ++row) {
+    const std::int64_t c = clustering.assignments[static_cast<std::size_t>(row)];
+    concepts[static_cast<std::size_t>(c)].members.push_back(row);
+  }
+  // Order members by distance to centroid: representative entities first.
+  for (auto& found : concepts) {
+    const double* centroid = clustering.centroids.Row(found.cluster_id);
+    std::sort(found.members.begin(), found.members.end(),
+              [&](std::int64_t a, std::int64_t b) {
+                double da = 0.0, db = 0.0;
+                for (std::int64_t j = 0; j < factor.cols(); ++j) {
+                  const double xa = factor(a, j) - centroid[j];
+                  const double xb = factor(b, j) - centroid[j];
+                  da += xa * xa;
+                  db += xb * xb;
+                }
+                return da < db;
+              });
+  }
+  return concepts;
+}
+
+std::vector<Relation> DiscoverRelations(const TuckerFactorization& model,
+                                        std::int64_t top_k) {
+  const DenseTensor& core = model.core;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(core.size()));
+  std::iota(order.begin(), order.end(), 0);
+  top_k = std::min<std::int64_t>(top_k, core.size());
+  std::partial_sort(order.begin(), order.begin() + top_k, order.end(),
+                    [&](std::int64_t a, std::int64_t b) {
+                      return std::fabs(core[a]) > std::fabs(core[b]);
+                    });
+
+  std::vector<Relation> relations;
+  relations.reserve(static_cast<std::size_t>(top_k));
+  for (std::int64_t r = 0; r < top_k; ++r) {
+    Relation relation;
+    relation.core_index.resize(static_cast<std::size_t>(core.order()));
+    core.IndexOf(order[static_cast<std::size_t>(r)],
+                 relation.core_index.data());
+    relation.strength = core[order[static_cast<std::size_t>(r)]];
+    relations.push_back(std::move(relation));
+  }
+  return relations;
+}
+
+std::vector<std::int64_t> TopEntitiesForRelation(
+    const TuckerFactorization& model, const Relation& relation,
+    std::int64_t mode, std::int64_t count) {
+  PTUCKER_CHECK(mode >= 0 &&
+                mode < static_cast<std::int64_t>(model.factors.size()));
+  const Matrix& factor = model.factors[static_cast<std::size_t>(mode)];
+  const std::int64_t column =
+      relation.core_index[static_cast<std::size_t>(mode)];
+  PTUCKER_CHECK(column >= 0 && column < factor.cols());
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(factor.rows()));
+  std::iota(order.begin(), order.end(), 0);
+  count = std::min<std::int64_t>(count, factor.rows());
+  std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                    [&](std::int64_t a, std::int64_t b) {
+                      return std::fabs(factor(a, column)) >
+                             std::fabs(factor(b, column));
+                    });
+  order.resize(static_cast<std::size_t>(count));
+  return order;
+}
+
+}  // namespace ptucker

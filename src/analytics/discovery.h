@@ -1,0 +1,50 @@
+#ifndef PTUCKER_ANALYTICS_DISCOVERY_H_
+#define PTUCKER_ANALYTICS_DISCOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/kmeans.h"
+#include "core/ptucker.h"
+
+namespace ptucker {
+
+/// §V discovery tooling on a fitted Tucker model.
+
+/// A concept: a cluster of mode entities with similar latent rows
+/// (Table V: movie genres found by clustering the movie factor matrix).
+struct Concept {
+  std::int64_t cluster_id = 0;
+  /// Row ids (entity indices of the mode) belonging to the concept,
+  /// ordered by distance to the centroid (most representative first).
+  std::vector<std::int64_t> members;
+};
+
+/// Clusters the rows of factor matrix `mode` into `k` concepts.
+std::vector<Concept> DiscoverConcepts(const TuckerFactorization& model,
+                                      std::int64_t mode, std::int64_t k,
+                                      std::uint64_t seed = 0x5eedULL);
+
+/// A relation: a large-magnitude core entry linking one column of every
+/// factor matrix (Table VI: "an entry (j1,…,jN) of G is associated with
+/// the jn-th column of A(n) … with a strength G(j1,…,jN)").
+struct Relation {
+  std::vector<std::int64_t> core_index;  // (j1, …, jN)
+  double strength = 0.0;                 // G value (signed)
+};
+
+/// The top-k core entries by |G| in descending order.
+std::vector<Relation> DiscoverRelations(const TuckerFactorization& model,
+                                        std::int64_t top_k);
+
+/// For a relation and a mode, the entity indices most aligned with the
+/// relation's mode-`mode` column — e.g. the hours participating in a
+/// (genre, hour) relation. Returns the top `count` row ids of A(mode)
+/// by column-jn coefficient.
+std::vector<std::int64_t> TopEntitiesForRelation(
+    const TuckerFactorization& model, const Relation& relation,
+    std::int64_t mode, std::int64_t count);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_ANALYTICS_DISCOVERY_H_

@@ -1,0 +1,152 @@
+#include "analytics/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, std::int64_t n) {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult KMeansRows(const Matrix& rows, const KMeansOptions& options) {
+  const std::int64_t n = rows.rows();
+  const std::int64_t dims = rows.cols();
+  const std::int64_t k = options.k;
+  PTUCKER_CHECK(k >= 1 && k <= n);
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = Matrix(k, dims);
+
+  // --- k-means++ seeding. ---
+  std::vector<double> min_dist(static_cast<std::size_t>(n),
+                               std::numeric_limits<double>::infinity());
+  std::int64_t first = static_cast<std::int64_t>(
+      rng.UniformInt(static_cast<std::uint64_t>(n)));
+  for (std::int64_t j = 0; j < dims; ++j) {
+    result.centroids(0, j) = rows(first, j);
+  }
+  for (std::int64_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double d = SquaredDistance(rows.Row(i),
+                                       result.centroids.Row(c - 1), dims);
+      min_dist[static_cast<std::size_t>(i)] =
+          std::min(min_dist[static_cast<std::size_t>(i)], d);
+      total += min_dist[static_cast<std::size_t>(i)];
+    }
+    // Sample proportional to D²; degenerate case falls back to uniform.
+    std::int64_t chosen = -1;
+    if (total > 0.0) {
+      double threshold = rng.Uniform() * total;
+      for (std::int64_t i = 0; i < n; ++i) {
+        threshold -= min_dist[static_cast<std::size_t>(i)];
+        if (threshold <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<std::int64_t>(
+          rng.UniformInt(static_cast<std::uint64_t>(n)));
+    }
+    for (std::int64_t j = 0; j < dims; ++j) {
+      result.centroids(c, j) = rows(chosen, j);
+    }
+  }
+
+  // --- Lloyd iterations. ---
+  result.assignments.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(k));
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    bool changed = false;
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::int64_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::int64_t c = 0; c < k; ++c) {
+        const double d =
+            SquaredDistance(rows.Row(i), result.centroids.Row(c), dims);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      if (result.assignments[static_cast<std::size_t>(i)] != best) {
+        result.assignments[static_cast<std::size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    result.iterations_run = iteration + 1;
+    if (!changed) break;
+
+    result.centroids.Fill(0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t c = result.assignments[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(c)];
+      for (std::int64_t j = 0; j < dims; ++j) {
+        result.centroids(c, j) += rows(i, j);
+      }
+    }
+    for (std::int64_t c = 0; c < k; ++c) {
+      const std::int64_t count = counts[static_cast<std::size_t>(c)];
+      if (count == 0) {
+        // Re-seed an empty cluster at a random row.
+        const std::int64_t r = static_cast<std::int64_t>(
+            rng.UniformInt(static_cast<std::uint64_t>(n)));
+        for (std::int64_t j = 0; j < dims; ++j) {
+          result.centroids(c, j) = rows(r, j);
+        }
+        continue;
+      }
+      for (std::int64_t j = 0; j < dims; ++j) {
+        result.centroids(c, j) /= static_cast<double>(count);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(
+        rows.Row(i),
+        result.centroids.Row(result.assignments[static_cast<std::size_t>(i)]),
+        dims);
+  }
+  return result;
+}
+
+double ClusterPurity(const std::vector<std::int64_t>& assignments,
+                     const std::vector<std::int64_t>& labels) {
+  PTUCKER_CHECK(assignments.size() == labels.size());
+  if (assignments.empty()) return 1.0;
+  // Purity: each cluster votes for its majority label.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> counts;
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    ++counts[{assignments[i], labels[i]}];
+  }
+  std::map<std::int64_t, std::int64_t> best_per_cluster;
+  for (const auto& [key, count] : counts) {
+    auto& best = best_per_cluster[key.first];
+    best = std::max(best, count);
+  }
+  std::int64_t correct = 0;
+  for (const auto& [cluster, count] : best_per_cluster) correct += count;
+  return static_cast<double>(correct) /
+         static_cast<double>(assignments.size());
+}
+
+}  // namespace ptucker

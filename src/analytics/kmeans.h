@@ -1,0 +1,43 @@
+#ifndef PTUCKER_ANALYTICS_KMEANS_H_
+#define PTUCKER_ANALYTICS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace ptucker {
+
+/// K-means over the rows of a matrix — the paper applies this to factor
+/// matrices for concept discovery (§V, Table V): "each row of factor
+/// matrices represents latent features of the row".
+struct KMeansResult {
+  /// Cluster id of each row.
+  std::vector<std::int64_t> assignments;
+  /// k x dims centroid matrix.
+  Matrix centroids;
+  /// Final within-cluster sum of squared distances.
+  double inertia = 0.0;
+  int iterations_run = 0;
+};
+
+struct KMeansOptions {
+  std::int64_t k = 8;
+  int max_iterations = 100;
+  /// Stop when no assignment changes.
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Requires 1 <= k <= rows.
+KMeansResult KMeansRows(const Matrix& rows, const KMeansOptions& options);
+
+/// Fraction of pairs of same-label items placed in the same cluster —
+/// a simple external quality score used to validate Table V recovery
+/// against planted ground truth (1.0 = perfect, chance ≈ 1/k).
+double ClusterPurity(const std::vector<std::int64_t>& assignments,
+                     const std::vector<std::int64_t>& labels);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_ANALYTICS_KMEANS_H_

@@ -1,0 +1,41 @@
+#ifndef PTUCKER_BASELINES_TUCKER_WOPT_H_
+#define PTUCKER_BASELINES_TUCKER_WOPT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/common.h"
+#include "tensor/sparse_tensor.h"
+#include "util/memory_tracker.h"
+
+namespace ptucker {
+
+/// Options for TUCKER-WOPT.
+struct WoptOptions {
+  std::vector<std::int64_t> core_dims;
+  /// Nonlinear-conjugate-gradient iterations (the paper caps all methods
+  /// at 20 iterations).
+  int max_iterations = 20;
+  double tolerance = 1e-4;
+  std::uint64_t seed = 0x5eedULL;
+  MemoryTracker* tracker = nullptr;
+  bool verbose = false;
+};
+
+/// TUCKER-WOPT (Filipović & Jukić, 2015): Tucker *weighted* optimization.
+/// Minimizes Σ_{α∈Ω}(X_α − X̂_α)² over the core and all factors jointly by
+/// Polak-Ribière nonlinear conjugate gradients — the accuracy-focused
+/// competitor of the paper (it ignores missing entries like P-Tucker).
+///
+/// Faithful to the original, the gradients are evaluated with *dense*
+/// tensor algebra: the masked residual tensor W ⊛ (X̂ − X) is materialized
+/// at the full size Π In and pushed through dense mode-product chains
+/// (memory O(Iᴺ⁻¹J), paper Table III). All dense temporaries are charged
+/// to the tracker, which is why this method — and only this method — hits
+/// O.O.M. across most of Figs. 6/7/11.
+BaselineResult TuckerWoptDecompose(const SparseTensor& x,
+                                   const WoptOptions& options);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_BASELINES_TUCKER_WOPT_H_

@@ -1,0 +1,97 @@
+#include "core/cache_table.h"
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+CacheTable::CacheTable(const SparseTensor& x, const CoreEntryList& core,
+                       const std::vector<Matrix>& factors,
+                       MemoryTracker* tracker)
+    : num_entries_(x.nnz()), num_core_(core.size()), tracker_(tracker) {
+  charged_bytes_ =
+      static_cast<std::int64_t>(sizeof(double)) * num_entries_ * num_core_;
+  if (tracker_ != nullptr) tracker_->Charge(charged_bytes_);
+  table_.resize(static_cast<std::size_t>(num_entries_ * num_core_));
+
+  // Section 1 of §III-D: rows of Pres are independent; fill in parallel
+  // with static scheduling (uniform |G| work per row).
+#pragma omp parallel for schedule(static)
+  for (std::int64_t e = 0; e < num_entries_; ++e) {
+    const std::int64_t* idx = x.index(e);
+    double* row = table_.data() + static_cast<std::size_t>(e * num_core_);
+    for (std::int64_t b = 0; b < num_core_; ++b) {
+      row[b] = RecomputeProduct(core, factors, idx, b);
+    }
+  }
+}
+
+CacheTable::~CacheTable() {
+  if (tracker_ != nullptr) tracker_->Release(charged_bytes_);
+}
+
+double CacheTable::RecomputeProduct(const CoreEntryList& core,
+                                    const std::vector<Matrix>& factors,
+                                    const std::int64_t* entry_index,
+                                    std::int64_t b) const {
+  const std::int64_t order = core.order();
+  const std::int32_t* beta = core.index(b);
+  double product = core.value(b);
+  for (std::int64_t k = 0; k < order; ++k) {
+    product *= factors[static_cast<std::size_t>(k)](entry_index[k], beta[k]);
+  }
+  return product;
+}
+
+void CacheTable::ComputeDeltaCached(const CoreEntryList& core,
+                                    const std::vector<Matrix>& factors,
+                                    std::int64_t entry,
+                                    const std::int64_t* entry_index,
+                                    std::int64_t mode, double* delta) const {
+  const std::int64_t order = core.order();
+  const Matrix& a_n = factors[static_cast<std::size_t>(mode)];
+  const std::int64_t rank = a_n.cols();
+  for (std::int64_t j = 0; j < rank; ++j) delta[j] = 0.0;
+
+  const double* row = Row(entry);
+  for (std::int64_t b = 0; b < num_core_; ++b) {
+    const std::int32_t* beta = core.index(b);
+    const double coefficient = a_n(entry_index[mode], beta[mode]);
+    double contribution;
+    if (coefficient != 0.0) {
+      contribution = row[b] / coefficient;  // O(1) path (line 12)
+    } else {
+      // Zero coefficient: recompute the N-1 term product directly
+      // (the paper's fallback to line 10).
+      contribution = core.value(b);
+      for (std::int64_t k = 0; k < order; ++k) {
+        if (k == mode) continue;
+        contribution *=
+            factors[static_cast<std::size_t>(k)](entry_index[k], beta[k]);
+      }
+    }
+    delta[beta[mode]] += contribution;
+  }
+}
+
+void CacheTable::UpdateAfterMode(const SparseTensor& x,
+                                 const CoreEntryList& core,
+                                 const std::vector<Matrix>& factors,
+                                 std::int64_t mode, const Matrix& old_factor) {
+  const Matrix& new_factor = factors[static_cast<std::size_t>(mode)];
+#pragma omp parallel for schedule(static)
+  for (std::int64_t e = 0; e < num_entries_; ++e) {
+    const std::int64_t* idx = x.index(e);
+    double* row = table_.data() + static_cast<std::size_t>(e * num_core_);
+    for (std::int64_t b = 0; b < num_core_; ++b) {
+      const std::int32_t* beta = core.index(b);
+      const double old_coefficient = old_factor(idx[mode], beta[mode]);
+      if (old_coefficient != 0.0) {
+        row[b] *= new_factor(idx[mode], beta[mode]) / old_coefficient;
+      } else {
+        row[b] = RecomputeProduct(core, factors, idx, b);
+      }
+    }
+  }
+}
+
+}  // namespace ptucker

@@ -1,0 +1,145 @@
+#include "core/core_update.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+namespace {
+
+// Computes the per-(α, β) design coefficient Π_k A(k)(ik, jk).
+double DesignCoefficient(const CoreEntryList& core,
+                         const std::vector<Matrix>& factors,
+                         const std::int64_t* idx, std::int64_t b) {
+  const std::int64_t order = core.order();
+  const std::int32_t* beta = core.index(b);
+  double product = 1.0;
+  for (std::int64_t k = 0; k < order; ++k) {
+    product *= factors[static_cast<std::size_t>(k)](idx[k], beta[k]);
+  }
+  return product;
+}
+
+// y = P g (length |Ω|), streaming entries in parallel.
+void ApplyDesign(const SparseTensor& x, const CoreEntryList& core,
+                 const std::vector<Matrix>& factors,
+                 const std::vector<double>& g, std::vector<double>* y) {
+  const std::int64_t n_core = core.size();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t e = 0; e < x.nnz(); ++e) {
+    const std::int64_t* idx = x.index(e);
+    double sum = 0.0;
+    for (std::int64_t b = 0; b < n_core; ++b) {
+      sum += g[static_cast<std::size_t>(b)] *
+             DesignCoefficient(core, factors, idx, b);
+    }
+    (*y)[static_cast<std::size_t>(e)] = sum;
+  }
+}
+
+// z = Pᵀ y (length |G|), per-thread accumulation then merge.
+void ApplyDesignTransposed(const SparseTensor& x, const CoreEntryList& core,
+                           const std::vector<Matrix>& factors,
+                           const std::vector<double>& y,
+                           std::vector<double>* z) {
+  const std::int64_t n_core = core.size();
+  std::fill(z->begin(), z->end(), 0.0);
+#pragma omp parallel
+  {
+    std::vector<double> local(static_cast<std::size_t>(n_core), 0.0);
+#pragma omp for schedule(static)
+    for (std::int64_t e = 0; e < x.nnz(); ++e) {
+      const std::int64_t* idx = x.index(e);
+      const double scale = y[static_cast<std::size_t>(e)];
+      if (scale == 0.0) continue;
+      for (std::int64_t b = 0; b < n_core; ++b) {
+        local[static_cast<std::size_t>(b)] +=
+            scale * DesignCoefficient(core, factors, idx, b);
+      }
+    }
+#pragma omp critical
+    {
+      for (std::int64_t b = 0; b < n_core; ++b) {
+        (*z)[static_cast<std::size_t>(b)] += local[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+}
+
+double VecDot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
+                      CoreEntryList* core_list,
+                      const std::vector<Matrix>& factors, double lambda,
+                      int cg_iterations) {
+  PTUCKER_CHECK(core != nullptr && core_list != nullptr);
+  const std::int64_t n_core = core_list->size();
+  if (n_core == 0 || cg_iterations <= 0) return;
+  const std::size_t core_count = static_cast<std::size_t>(n_core);
+  const std::size_t entry_count = static_cast<std::size_t>(x.nnz());
+
+  // Warm start from the current core values: CG then monotonically
+  // improves the regularized objective.
+  std::vector<double> g(core_count);
+  for (std::int64_t b = 0; b < n_core; ++b) {
+    g[static_cast<std::size_t>(b)] = core_list->value(b);
+  }
+
+  // r = Pᵀ(x − P g) − λ g  (negative gradient of the objective / 2).
+  std::vector<double> work_entries(entry_count);
+  ApplyDesign(x, *core_list, factors, g, &work_entries);
+  for (std::int64_t e = 0; e < x.nnz(); ++e) {
+    work_entries[static_cast<std::size_t>(e)] =
+        x.value(e) - work_entries[static_cast<std::size_t>(e)];
+  }
+  std::vector<double> residual(core_count);
+  ApplyDesignTransposed(x, *core_list, factors, work_entries, &residual);
+  for (std::size_t b = 0; b < core_count; ++b) residual[b] -= lambda * g[b];
+
+  std::vector<double> direction = residual;
+  std::vector<double> q(core_count);
+  double rho = VecDot(residual, residual);
+  const double threshold = std::max(rho * 1e-16, 1e-28);
+
+  for (int step = 0; step < cg_iterations && rho > threshold; ++step) {
+    // q = (PᵀP + λI) d.
+    ApplyDesign(x, *core_list, factors, direction, &work_entries);
+    ApplyDesignTransposed(x, *core_list, factors, work_entries, &q);
+    for (std::size_t b = 0; b < core_count; ++b) {
+      q[b] += lambda * direction[b];
+    }
+    const double curvature = VecDot(direction, q);
+    if (curvature <= 0.0) break;
+    const double alpha = rho / curvature;
+    for (std::size_t b = 0; b < core_count; ++b) {
+      g[b] += alpha * direction[b];
+      residual[b] -= alpha * q[b];
+    }
+    const double rho_next = VecDot(residual, residual);
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::size_t b = 0; b < core_count; ++b) {
+      direction[b] = residual[b] + beta * direction[b];
+    }
+  }
+
+  // Write back through the list's indices, then refresh the list.
+  std::vector<std::int64_t> index(static_cast<std::size_t>(core->order()));
+  for (std::int64_t b = 0; b < n_core; ++b) {
+    const std::int32_t* beta = core_list->index(b);
+    for (std::int64_t k = 0; k < core->order(); ++k) {
+      index[static_cast<std::size_t>(k)] = beta[k];
+    }
+    core->at(index.data()) = g[static_cast<std::size_t>(b)];
+  }
+  core_list->RefreshValues(*core);
+}
+
+}  // namespace ptucker

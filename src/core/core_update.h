@@ -1,0 +1,33 @@
+#ifndef PTUCKER_CORE_CORE_UPDATE_H_
+#define PTUCKER_CORE_CORE_UPDATE_H_
+
+#include <vector>
+
+#include "core/delta.h"
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+
+namespace ptucker {
+
+/// Extension of the paper (its future-work direction of improving the fit
+/// beyond a fixed random core): re-fits the nonzero core entries to the
+/// observed data by regularized least squares
+///   min_g ‖x − P g‖² + λ‖g‖²,
+/// where g stacks the nonzero core values and P(α, β) = Π_k A(k)(ik, jk).
+///
+/// Solved matrix-free with conjugate gradients on the normal equations
+/// (Pᵀ P + λI) g = Pᵀ x; each CG step streams the observed entries twice,
+/// so memory stays O(|Ω| + |G|) and no design matrix is materialized.
+///
+/// Updates `core` (values at the existing nonzero pattern) and refreshes
+/// `core_list` in place. The loss (Eq. 6) never increases: CG starts from
+/// the current g, so every accepted iterate is at least as good.
+void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
+                      CoreEntryList* core_list,
+                      const std::vector<Matrix>& factors, double lambda,
+                      int cg_iterations);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_CORE_CORE_UPDATE_H_

@@ -1,0 +1,69 @@
+#ifndef PTUCKER_CORE_DELTA_H_
+#define PTUCKER_CORE_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+
+namespace ptucker {
+
+/// Flat list of the nonzero core entries β = (j1,…,jN) with their values.
+///
+/// P-Tucker's inner loops iterate "∀β ∈ G" (Algorithm 3); under
+/// P-TUCKER-APPROX the core loses entries every iteration, so the solvers
+/// walk this list instead of the dense core. Indices are stored contiguous
+/// (entry-major int32) for cache-friendly scanning — the β scan is the
+/// hottest loop in the library.
+class CoreEntryList {
+ public:
+  CoreEntryList() = default;
+
+  /// Collects the nonzeros of `core`.
+  explicit CoreEntryList(const DenseTensor& core);
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+  std::int64_t order() const { return order_; }
+
+  /// Multi-index of core entry `b` (length order()).
+  const std::int32_t* index(std::int64_t b) const {
+    return indices_.data() + static_cast<std::size_t>(b * order_);
+  }
+  double value(std::int64_t b) const {
+    return values_[static_cast<std::size_t>(b)];
+  }
+
+  /// Re-reads values from `core` (same sparsity pattern required).
+  void RefreshValues(const DenseTensor& core);
+
+  /// Removes the entries whose ids are flagged in `remove` (size() bools)
+  /// and zeroes them in `core`. Returns the number removed.
+  std::int64_t Remove(const std::vector<char>& remove, DenseTensor* core);
+
+ private:
+  std::int64_t order_ = 0;
+  std::vector<std::int32_t> indices_;  // size * order, entry-major
+  std::vector<double> values_;
+};
+
+/// Computes δ(n,α) of Eq. 12 for entry α with coordinates `entry_index`:
+/// delta[j] = Σ_{β∈G, βn=j} G_β Π_{k≠n} A(k)(ik, jk).
+/// `delta` must hold Jn = factors[mode].cols() zero-initialized doubles...
+/// (the function zeroes it first). O(|G|·N).
+void ComputeDelta(const CoreEntryList& core,
+                  const std::vector<Matrix>& factors,
+                  const std::int64_t* entry_index, std::int64_t mode,
+                  double* delta);
+
+/// Full per-entry reconstruction x̂_α (Eq. 4) driven by the entry list:
+/// Σ_β G_β Π_k A(k)(ik, jk). O(|G|·N).
+double ReconstructFromList(const CoreEntryList& core,
+                           const std::vector<Matrix>& factors,
+                           const std::int64_t* entry_index);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_CORE_DELTA_H_

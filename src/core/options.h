@@ -1,0 +1,92 @@
+#ifndef PTUCKER_CORE_OPTIONS_H_
+#define PTUCKER_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/memory_tracker.h"
+
+namespace ptucker {
+
+/// Which P-Tucker algorithm to run (paper §III-C).
+enum class PTuckerVariant {
+  /// Default memory-optimized algorithm: O(T J²) intermediate data.
+  kMemory,
+  /// P-TUCKER-CACHE: memoizes per-(entry, core-entry) products in the
+  /// Pres table; faster δ at O(|Ω|·|G|) memory.
+  kCache,
+  /// P-TUCKER-APPROX: truncates "noisy" core entries by partial
+  /// reconstruction error after every iteration.
+  kApprox,
+};
+
+/// OpenMP scheduling of the row updates (paper §III-D). The paper's
+/// "careful distribution of work" is dynamic scheduling; static is the
+/// naive baseline it is compared against (1.5x slower on MovieLens).
+enum class Scheduling {
+  kDynamic,
+  kStatic,
+};
+
+/// Configuration of a P-Tucker decomposition (paper Algorithm 2 inputs
+/// plus environment knobs; defaults follow §IV-A3).
+struct PTuckerOptions {
+  /// Core tensor dimensionality J1..JN. Must match the tensor order and
+  /// satisfy Jn <= In (required by the final QR orthogonalization).
+  std::vector<std::int64_t> core_dims;
+
+  /// L2 regularization λ of Eq. 6. Paper default: 0.01.
+  double lambda = 0.01;
+
+  /// Maximum ALS iterations. Paper default: 20.
+  int max_iterations = 20;
+
+  /// Convergence: stop when |err_prev - err| / max(err_prev, 1e-12) falls
+  /// below this.
+  double tolerance = 1e-4;
+
+  PTuckerVariant variant = PTuckerVariant::kMemory;
+
+  /// Truncation rate p per iteration (P-TUCKER-APPROX only). Paper: 0.2.
+  double truncation_rate = 0.2;
+
+  /// Worker threads T; 0 uses the OpenMP default.
+  int num_threads = 0;
+
+  Scheduling scheduling = Scheduling::kDynamic;
+
+  /// Seed for the Uniform[0,1) initialization of factors and core.
+  std::uint64_t seed = 0x5eedULL;
+
+  /// Orthogonalize factors and fold R into the core when done
+  /// (Algorithm 2 lines 8-11). On by default as in the paper.
+  bool orthogonalize_output = true;
+
+  /// Extension (paper future work): re-fit the core tensor to observed
+  /// entries by regularized least squares after each iteration.
+  bool update_core = false;
+
+  /// Conjugate-gradient steps per core update (when update_core).
+  int core_update_cg_iterations = 8;
+
+  /// Extension (the paper's future work: "applying sampling techniques on
+  /// observable entries to accelerate decompositions, while sacrificing
+  /// little accuracy"): each row update uses a Bernoulli(sample_rate)
+  /// subsample of its slice Ω(n,in) instead of every observed entry.
+  /// 1.0 (default) is the exact paper algorithm; values in (0,1) trade
+  /// accuracy for speed. At least one entry per non-empty slice is always
+  /// kept. The subsample is redrawn per (iteration, mode, row) from
+  /// `seed`, so runs stay deterministic.
+  double sample_rate = 1.0;
+
+  /// When set, intermediate data is charged here; exceeding its budget
+  /// raises OutOfMemoryBudget (the paper's O.O.M.).
+  MemoryTracker* tracker = nullptr;
+
+  /// Log per-iteration progress at INFO level.
+  bool verbose = false;
+};
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_CORE_OPTIONS_H_

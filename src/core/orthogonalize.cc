@@ -1,0 +1,22 @@
+#include "core/orthogonalize.h"
+
+#include "linalg/qr.h"
+#include "tensor/nmode.h"
+#include "util/logging.h"
+
+namespace ptucker {
+
+void OrthogonalizeFactors(std::vector<Matrix>* factors, DenseTensor* core) {
+  PTUCKER_CHECK(factors != nullptr && core != nullptr);
+  PTUCKER_CHECK(static_cast<std::int64_t>(factors->size()) == core->order());
+  for (std::int64_t mode = 0; mode < core->order(); ++mode) {
+    Matrix& factor = (*factors)[static_cast<std::size_t>(mode)];
+    PTUCKER_CHECK(factor.rows() >= factor.cols());
+    QrResult qr = HouseholderQr(factor);
+    factor = std::move(qr.q);
+    // G ← G ×n R: R maps the old mode-n coordinates to the new ones.
+    *core = ModeProduct(*core, qr.r, mode);
+  }
+}
+
+}  // namespace ptucker

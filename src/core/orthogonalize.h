@@ -1,0 +1,22 @@
+#ifndef PTUCKER_CORE_ORTHOGONALIZE_H_
+#define PTUCKER_CORE_ORTHOGONALIZE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+
+namespace ptucker {
+
+/// Final orthogonalization of P-Tucker (Algorithm 2 lines 8-11):
+/// for each mode, factor A(n) = Q(n) R(n) (Eq. 7), replace A(n) ← Q(n),
+/// and fold the triangular factor into the core, G ← G ×n R(n) (Eq. 8).
+///
+/// The reconstruction G ×1 A(1) ··· ×N A(N) is mathematically unchanged —
+/// a property the tests verify — while the factors become column-wise
+/// orthonormal as Tucker convention expects.
+void OrthogonalizeFactors(std::vector<Matrix>* factors, DenseTensor* core);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_CORE_ORTHOGONALIZE_H_

@@ -1,0 +1,337 @@
+#include "core/ptucker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "core/cache_table.h"
+#include "core/core_update.h"
+#include "core/delta.h"
+#include "core/orthogonalize.h"
+#include "core/reconstruction.h"
+#include "core/truncation.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "tensor/nmode.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace ptucker {
+
+namespace {
+
+// Scopes the OpenMP thread-count and schedule ICVs so a solver honors its
+// options without leaking settings to the caller.
+class OmpEnvironmentGuard {
+ public:
+  OmpEnvironmentGuard(int num_threads, Scheduling scheduling) {
+    saved_threads_ = omp_get_max_threads();
+    omp_get_schedule(&saved_schedule_, &saved_chunk_);
+    if (num_threads > 0) omp_set_num_threads(num_threads);
+    // Row updates use schedule(runtime); §III-D prescribes dynamic
+    // scheduling because |Ω(n,in)| is skewed.
+    if (scheduling == Scheduling::kDynamic) {
+      omp_set_schedule(omp_sched_dynamic, 8);
+    } else {
+      omp_set_schedule(omp_sched_static, 0);
+    }
+  }
+  ~OmpEnvironmentGuard() {
+    omp_set_num_threads(saved_threads_);
+    omp_set_schedule(saved_schedule_, saved_chunk_);
+  }
+
+  OmpEnvironmentGuard(const OmpEnvironmentGuard&) = delete;
+  OmpEnvironmentGuard& operator=(const OmpEnvironmentGuard&) = delete;
+
+ private:
+  int saved_threads_;
+  omp_sched_t saved_schedule_;
+  int saved_chunk_;
+};
+
+void ValidateInputs(const SparseTensor& x, const PTuckerOptions& options) {
+  if (x.nnz() == 0) {
+    throw std::invalid_argument("P-Tucker: tensor has no observed entries");
+  }
+  if (!x.has_mode_index()) {
+    throw std::invalid_argument(
+        "P-Tucker: call SparseTensor::BuildModeIndex() before decomposing");
+  }
+  if (static_cast<std::int64_t>(options.core_dims.size()) != x.order()) {
+    throw std::invalid_argument(
+        "P-Tucker: core_dims order does not match tensor order");
+  }
+  for (std::int64_t n = 0; n < x.order(); ++n) {
+    const std::int64_t rank = options.core_dims[static_cast<std::size_t>(n)];
+    if (rank < 1) {
+      throw std::invalid_argument("P-Tucker: core dimensionality must be >= 1");
+    }
+    if (options.orthogonalize_output && rank > x.dim(n)) {
+      throw std::invalid_argument(
+          "P-Tucker: Jn > In is incompatible with QR orthogonalization");
+    }
+  }
+  if (options.lambda < 0.0) {
+    throw std::invalid_argument("P-Tucker: lambda must be non-negative");
+  }
+  if (options.max_iterations < 1) {
+    throw std::invalid_argument("P-Tucker: max_iterations must be >= 1");
+  }
+  if (options.truncation_rate < 0.0 || options.truncation_rate >= 1.0) {
+    throw std::invalid_argument(
+        "P-Tucker: truncation_rate must be in [0, 1)");
+  }
+  if (options.num_threads < 0) {
+    throw std::invalid_argument("P-Tucker: num_threads must be >= 0");
+  }
+  if (options.sample_rate <= 0.0 || options.sample_rate > 1.0) {
+    throw std::invalid_argument("P-Tucker: sample_rate must be in (0, 1]");
+  }
+}
+
+// Mixes the run seed with a (iteration, mode, row) key so every row draws
+// an independent, reproducible subsample stream.
+std::uint64_t SampleStreamSeed(std::uint64_t seed, int iteration,
+                               std::int64_t mode, std::int64_t row) {
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t word :
+       {static_cast<std::uint64_t>(iteration), static_cast<std::uint64_t>(mode),
+        static_cast<std::uint64_t>(row)}) {
+    h ^= word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  }
+  return h;
+}
+
+// Solves row (B + λI) = c, writing the Jn results into `row`.
+// Cholesky first (B + λI is SPD for λ > 0, Theorem 1); LU fallback covers
+// λ = 0 with rank-deficient B; as a last resort the row is zeroed.
+void SolveRow(const Matrix& b_plus_lambda, const double* c, double* row,
+              std::int64_t rank) {
+  if (CholeskySolveRow(b_plus_lambda, c, row)) return;
+  LuDecomposition lu(b_plus_lambda);
+  if (lu.ok()) {
+    lu.Solve(c, row);
+    return;
+  }
+  for (std::int64_t j = 0; j < rank; ++j) row[j] = 0.0;
+}
+
+}  // namespace
+
+double TuckerFactorization::Predict(const std::int64_t* index) const {
+  return ReconstructEntry(core, factors, index);
+}
+
+double TuckerFactorization::Predict(
+    const std::vector<std::int64_t>& index) const {
+  PTUCKER_CHECK(static_cast<std::int64_t>(index.size()) == core.order());
+  return Predict(index.data());
+}
+
+double PTuckerResult::SecondsPerIteration() const {
+  if (iterations.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& stats : iterations) total += stats.seconds;
+  return total / static_cast<double>(iterations.size());
+}
+
+PTuckerResult PTuckerDecompose(const SparseTensor& x,
+                               const PTuckerOptions& options) {
+  ValidateInputs(x, options);
+  const std::int64_t order = x.order();
+  MemoryTracker* tracker = options.tracker;
+  Stopwatch total_clock;
+
+  const int threads = options.num_threads > 0 ? options.num_threads
+                                              : omp_get_max_threads();
+  OmpEnvironmentGuard omp_guard(threads, options.scheduling);
+
+  // --- Initialization (Algorithm 2 line 1): Uniform[0, 1). ---
+  Rng rng(options.seed);
+  std::vector<Matrix> factors;
+  factors.reserve(static_cast<std::size_t>(order));
+  std::int64_t max_rank = 1;
+  for (std::int64_t n = 0; n < order; ++n) {
+    const std::int64_t rank = options.core_dims[static_cast<std::size_t>(n)];
+    Matrix factor(x.dim(n), rank);
+    factor.FillUniform(rng);
+    factors.push_back(std::move(factor));
+    max_rank = std::max(max_rank, rank);
+  }
+  DenseTensor core(options.core_dims);
+  core.FillUniform(rng);
+  CoreEntryList core_list(core);
+
+  // Intermediate data of the default variant: per-thread δ, c (J), B and
+  // the solved row (J²+J) — the O(T J²) of Theorem 4.
+  const std::int64_t scratch_bytes =
+      static_cast<std::int64_t>(threads) *
+      static_cast<std::int64_t>(sizeof(double)) *
+      (max_rank * max_rank + 3 * max_rank);
+  ScopedCharge scratch_charge(tracker, scratch_bytes);
+
+  // P-TUCKER-CACHE: the Pres table (charged inside).
+  std::unique_ptr<CacheTable> cache;
+  if (options.variant == PTuckerVariant::kCache) {
+    cache = std::make_unique<CacheTable>(x, core_list, factors, tracker);
+  }
+
+  PTuckerResult result;
+  double previous_error = std::numeric_limits<double>::infinity();
+
+  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    Stopwatch iteration_clock;
+
+    // --- Update factor matrices (Algorithm 3). ---
+    for (std::int64_t mode = 0; mode < order; ++mode) {
+      const std::int64_t rank =
+          options.core_dims[static_cast<std::size_t>(mode)];
+      Matrix old_factor;
+      if (cache != nullptr) old_factor = factors[static_cast<std::size_t>(mode)];
+
+      Matrix& factor = factors[static_cast<std::size_t>(mode)];
+      const std::int64_t n_rows = x.dim(mode);
+
+      const bool subsample = options.sample_rate < 1.0;
+
+#pragma omp parallel
+      {
+        // Per-thread intermediate data (Fig. 4): B, c, δ, and the row.
+        Matrix b(rank, rank);
+        std::vector<double> c(static_cast<std::size_t>(rank));
+        std::vector<double> delta(static_cast<std::size_t>(rank));
+        std::vector<double> new_row(static_cast<std::size_t>(rank));
+
+        // schedule(runtime): dynamic under the paper's careful
+        // distribution of work, static for the naive ablation.
+#pragma omp for schedule(runtime)
+        for (std::int64_t row_index = 0; row_index < n_rows; ++row_index) {
+          const auto slice = x.Slice(mode, row_index);
+          if (slice.empty()) {
+            // No observations touch this row: the regularized minimum is 0.
+            for (std::int64_t j = 0; j < rank; ++j) factor(row_index, j) = 0.0;
+            continue;
+          }
+          b.Fill(0.0);
+          std::fill(c.begin(), c.end(), 0.0);
+          Rng sampler(subsample ? SampleStreamSeed(options.seed, iteration,
+                                                   mode, row_index)
+                                : 0);
+          std::int64_t used = 0;
+          for (const std::int64_t entry : slice) {
+            if (subsample && sampler.Uniform() >= options.sample_rate) {
+              continue;
+            }
+            ++used;
+            const std::int64_t* idx = x.index(entry);
+            if (cache != nullptr) {
+              cache->ComputeDeltaCached(core_list, factors, entry, idx, mode,
+                                        delta.data());
+            } else {
+              ComputeDelta(core_list, factors, idx, mode, delta.data());
+            }
+            SymmetricRank1Update(b, delta.data());          // Eq. 10
+            Axpy(x.value(entry), delta.data(), c.data(), rank);  // Eq. 11
+          }
+          if (subsample && used == 0) {
+            // Keep every observed row anchored to at least one entry.
+            const std::int64_t entry = slice.front();
+            const std::int64_t* idx = x.index(entry);
+            if (cache != nullptr) {
+              cache->ComputeDeltaCached(core_list, factors, entry, idx, mode,
+                                        delta.data());
+            } else {
+              ComputeDelta(core_list, factors, idx, mode, delta.data());
+            }
+            SymmetricRank1Update(b, delta.data());
+            Axpy(x.value(entry), delta.data(), c.data(), rank);
+          }
+          for (std::int64_t j = 0; j < rank; ++j) b(j, j) += options.lambda;
+          SolveRow(b, c.data(), new_row.data(), rank);      // Eq. 9
+          for (std::int64_t j = 0; j < rank; ++j) {
+            factor(row_index, j) = new_row[static_cast<std::size_t>(j)];
+          }
+        }
+      }
+
+      if (cache != nullptr) {
+        cache->UpdateAfterMode(x, core_list, factors, mode, old_factor);
+      }
+    }
+
+    // --- Optional extension: re-fit the core to the observations. ---
+    if (options.update_core) {
+      UpdateCoreTensor(x, &core, &core_list, factors, options.lambda,
+                       options.core_update_cg_iterations);
+      if (cache != nullptr) {
+        cache = std::make_unique<CacheTable>(x, core_list, factors, tracker);
+      }
+    }
+
+    // --- Reconstruction error (Algorithm 2 line 4, Eq. 5). ---
+    const double error = ReconstructionError(x, core_list, factors);
+
+    IterationStats stats;
+    stats.iteration = iteration;
+    stats.error = error;
+    stats.core_nnz = core_list.size();
+    stats.peak_intermediate_bytes =
+        tracker != nullptr ? tracker->peak_bytes() : 0;
+
+    // --- Convergence (Algorithm 2 line 7). ---
+    const double change =
+        std::fabs(previous_error - error) / std::max(previous_error, 1e-12);
+    previous_error = error;
+    const bool is_last_iteration =
+        change < options.tolerance || iteration == options.max_iterations;
+
+    // --- P-TUCKER-APPROX: drop noisy core entries (lines 5-6). The
+    // truncation pays off by making *subsequent* iterations cheaper, so it
+    // is skipped once no row update is left to re-fit the factors to the
+    // smaller core. Its cost (dominated by R(β)) is part of the iteration
+    // time, matching the paper's Fig. 9 accounting. ---
+    if (options.variant == PTuckerVariant::kApprox && !is_last_iteration) {
+      const std::int64_t removed = TruncateNoisyEntries(
+          x, &core, &core_list, factors, options.truncation_rate);
+      stats.core_nnz = core_list.size();
+      if (options.verbose && removed > 0) {
+        PTUCKER_LOG(kInfo) << "iteration " << iteration << ": truncated "
+                           << removed << " core entries, |G|="
+                           << core_list.size();
+      }
+    }
+
+    stats.seconds = iteration_clock.ElapsedSeconds();
+    result.iterations.push_back(stats);
+    if (options.verbose) {
+      PTUCKER_LOG(kInfo) << "iteration " << iteration << ": error=" << error
+                         << " (" << stats.seconds << "s)";
+    }
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // --- Orthogonalize and fold R into the core (lines 8-11). ---
+  if (options.orthogonalize_output) {
+    OrthogonalizeFactors(&factors, &core);
+    core_list = CoreEntryList(core);
+  }
+  result.final_error = ReconstructionError(x, core_list, factors);
+  result.model.factors = std::move(factors);
+  result.model.core = std::move(core);
+  result.total_seconds = total_clock.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,57 @@
+#ifndef PTUCKER_CORE_PTUCKER_H_
+#define PTUCKER_CORE_PTUCKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "core/trace.h"
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+
+namespace ptucker {
+
+/// A fitted Tucker model: X ≈ G ×1 A(1) ··· ×N A(N).
+struct TuckerFactorization {
+  std::vector<Matrix> factors;  // A(n) ∈ R^{In×Jn}
+  DenseTensor core;             // G ∈ R^{J1×…×JN}
+
+  /// Predicted value at a coordinate (Eq. 4) — the paper's missing-entry
+  /// estimate, *not* zero.
+  double Predict(const std::int64_t* index) const;
+  double Predict(const std::vector<std::int64_t>& index) const;
+};
+
+/// Outcome of a P-Tucker run.
+struct PTuckerResult {
+  TuckerFactorization model;
+  std::vector<IterationStats> iterations;
+  /// True if the error converged before max_iterations.
+  bool converged = false;
+  /// Reconstruction error (Eq. 5) of the returned model on the input.
+  double final_error = 0.0;
+  /// Wall-clock seconds of the whole solve.
+  double total_seconds = 0.0;
+
+  /// Mean seconds per ALS iteration — the paper's reporting unit
+  /// ("average elapsed time per iteration", §IV-A3).
+  double SecondsPerIteration() const;
+};
+
+/// P-Tucker (paper Algorithm 2): scalable Tucker factorization of a sparse
+/// partially-observed tensor by fully-parallel row-wise ALS.
+///
+/// Requirements: `x.nnz() > 0` and `x.has_mode_index()` (call
+/// `BuildModeIndex()` once after filling the tensor); options.core_dims
+/// must match `x.order()` with 1 <= Jn <= In. Violations throw
+/// std::invalid_argument.
+///
+/// Throws OutOfMemoryBudget if options.tracker has a budget and the
+/// variant's intermediate data exceeds it (only realistic for kCache).
+PTuckerResult PTuckerDecompose(const SparseTensor& x,
+                               const PTuckerOptions& options);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_CORE_PTUCKER_H_

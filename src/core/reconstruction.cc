@@ -1,0 +1,59 @@
+#include "core/reconstruction.h"
+
+#include <cmath>
+
+namespace ptucker {
+
+namespace {
+
+// Σ (X_α − x̂_α)² in parallel; the building block of both metrics.
+double SquaredResidualSum(const SparseTensor& x, const CoreEntryList& core,
+                          const std::vector<Matrix>& factors) {
+  double total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t e = 0; e < x.nnz(); ++e) {
+    const double predicted = ReconstructFromList(core, factors, x.index(e));
+    const double residual = x.value(e) - predicted;
+    total += residual * residual;
+  }
+  return total;
+}
+
+}  // namespace
+
+double ReconstructionError(const SparseTensor& x, const CoreEntryList& core,
+                           const std::vector<Matrix>& factors) {
+  return std::sqrt(SquaredResidualSum(x, core, factors));
+}
+
+double ReconstructionError(const SparseTensor& x, const DenseTensor& core,
+                           const std::vector<Matrix>& factors) {
+  return ReconstructionError(x, CoreEntryList(core), factors);
+}
+
+double TestRmse(const SparseTensor& test, const CoreEntryList& core,
+                const std::vector<Matrix>& factors) {
+  if (test.nnz() == 0) return 0.0;
+  return std::sqrt(SquaredResidualSum(test, core, factors) /
+                   static_cast<double>(test.nnz()));
+}
+
+double TestRmse(const SparseTensor& test, const DenseTensor& core,
+                const std::vector<Matrix>& factors) {
+  return TestRmse(test, CoreEntryList(core), factors);
+}
+
+std::vector<double> PredictEntries(const SparseTensor& query,
+                                   const DenseTensor& core,
+                                   const std::vector<Matrix>& factors) {
+  const CoreEntryList list(core);
+  std::vector<double> predictions(static_cast<std::size_t>(query.nnz()));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t e = 0; e < query.nnz(); ++e) {
+    predictions[static_cast<std::size_t>(e)] =
+        ReconstructFromList(list, factors, query.index(e));
+  }
+  return predictions;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,38 @@
+#ifndef PTUCKER_CORE_RECONSTRUCTION_H_
+#define PTUCKER_CORE_RECONSTRUCTION_H_
+
+#include <vector>
+
+#include "core/delta.h"
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+
+namespace ptucker {
+
+/// Reconstruction error over observed entries (Eq. 5):
+/// √ Σ_{α∈Ω} (X_α − x̂_α)². Parallelized over entries with static
+/// scheduling (§III-D section 3).
+double ReconstructionError(const SparseTensor& x, const CoreEntryList& core,
+                           const std::vector<Matrix>& factors);
+
+/// Convenience overload building the entry list from a dense core.
+double ReconstructionError(const SparseTensor& x, const DenseTensor& core,
+                           const std::vector<Matrix>& factors);
+
+/// Test root-mean-square error over the entries of `test` — the paper's
+/// missing-entry prediction metric (Fig. 11, right).
+double TestRmse(const SparseTensor& test, const CoreEntryList& core,
+                const std::vector<Matrix>& factors);
+double TestRmse(const SparseTensor& test, const DenseTensor& core,
+                const std::vector<Matrix>& factors);
+
+/// Predicted values x̂ (Eq. 4) for every entry coordinate in `query`
+/// (values of `query` are ignored).
+std::vector<double> PredictEntries(const SparseTensor& query,
+                                   const DenseTensor& core,
+                                   const std::vector<Matrix>& factors);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_CORE_RECONSTRUCTION_H_

@@ -1,0 +1,27 @@
+#ifndef PTUCKER_CORE_TRACE_H_
+#define PTUCKER_CORE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ptucker {
+
+/// Per-iteration measurements recorded by every solver in this library.
+/// The benchmark harness prints these as the paper's time/error series
+/// (Figs. 6-11 all report either time-per-iteration or error-vs-time).
+struct IterationStats {
+  int iteration = 0;
+  /// Reconstruction error over observed entries (Eq. 5).
+  double error = 0.0;
+  /// Wall-clock seconds spent in this iteration.
+  double seconds = 0.0;
+  /// Nonzero core entries |G| after this iteration (shrinks under
+  /// P-TUCKER-APPROX).
+  std::int64_t core_nnz = 0;
+  /// Peak intermediate bytes observed so far (0 when no tracker is set).
+  std::int64_t peak_intermediate_bytes = 0;
+};
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_CORE_TRACE_H_

@@ -1,0 +1,64 @@
+#include "data/lowrank.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tensor/index.h"
+#include "tensor/nmode.h"
+#include "util/logging.h"
+
+namespace ptucker {
+
+PlantedTucker RandomTuckerModel(const std::vector<std::int64_t>& dims,
+                                const std::vector<std::int64_t>& core_dims,
+                                Rng& rng) {
+  PTUCKER_CHECK(dims.size() == core_dims.size());
+  PlantedTucker model;
+  model.core = DenseTensor(core_dims);
+  model.core.FillUniform(rng);
+  model.factors.reserve(dims.size());
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    Matrix factor(dims[k], core_dims[k]);
+    factor.FillUniform(rng);
+    // Scale so reconstructions land in O(1) range regardless of rank.
+    factor.Scale(1.0 / static_cast<double>(core_dims[k]));
+    model.factors.push_back(std::move(factor));
+  }
+  return model;
+}
+
+SparseTensor SampleFromModel(const PlantedTucker& model, std::int64_t nnz,
+                             double noise_stddev, Rng& rng) {
+  std::vector<std::int64_t> dims(model.factors.size());
+  for (std::size_t k = 0; k < model.factors.size(); ++k) {
+    dims[k] = model.factors[k].rows();
+  }
+  PTUCKER_CHECK(nnz <= NumElements(dims));
+
+  SparseTensor tensor(dims);
+  tensor.Reserve(nnz);
+  std::unordered_set<std::int64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz * 2));
+  const auto strides = ComputeStrides(dims);
+  std::vector<std::int64_t> index(dims.size());
+  const std::int64_t order = static_cast<std::int64_t>(dims.size());
+
+  std::int64_t emitted = 0;
+  while (emitted < nnz) {
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      index[k] = static_cast<std::int64_t>(
+          rng.UniformInt(static_cast<std::uint64_t>(dims[k])));
+    }
+    const std::int64_t key = Linearize(index.data(), strides, order);
+    if (!seen.insert(key).second) continue;
+    double value = ReconstructEntry(model.core, model.factors, index.data());
+    value += rng.Normal(0.0, noise_stddev);
+    value = std::clamp(value, 0.0, 1.0);
+    tensor.AddEntry(index.data(), value);
+    ++emitted;
+  }
+  tensor.BuildModeIndex();
+  return tensor;
+}
+
+}  // namespace ptucker

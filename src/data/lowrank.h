@@ -1,0 +1,38 @@
+#ifndef PTUCKER_DATA_LOWRANK_H_
+#define PTUCKER_DATA_LOWRANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+#include "util/random.h"
+
+namespace ptucker {
+
+/// Ground-truth Tucker model used to synthesize completion workloads.
+struct PlantedTucker {
+  DenseTensor core;             // J1 x … x JN
+  std::vector<Matrix> factors;  // A(k) ∈ R^{Ik×Jk}
+};
+
+/// Draws a random Tucker model with Uniform[0,1) core and factors.
+PlantedTucker RandomTuckerModel(const std::vector<std::int64_t>& dims,
+                                const std::vector<std::int64_t>& core_dims,
+                                Rng& rng);
+
+/// Samples `nnz` distinct coordinates and sets each observed value to the
+/// model's reconstruction (Eq. 4) plus N(0, noise_stddev) noise.
+///
+/// Tensors built this way have genuinely low multilinear rank, so
+/// accuracy experiments (Fig. 11) show the observed-entry methods
+/// (P-Tucker, wOpt) beating zero-imputing baselines the way the paper
+/// reports. Values are clamped to [0, 1] mimicking the paper's
+/// normalization of real data. The mode index is built.
+SparseTensor SampleFromModel(const PlantedTucker& model, std::int64_t nnz,
+                             double noise_stddev, Rng& rng);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_DATA_LOWRANK_H_

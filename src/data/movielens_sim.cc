@@ -1,0 +1,122 @@
+#include "data/movielens_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "tensor/index.h"
+#include "util/logging.h"
+
+namespace ptucker {
+
+namespace {
+
+// Inverse-CDF sampler over a Zipf(skew) distribution on [0, n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t n, double skew) : cdf_(static_cast<std::size_t>(n)) {
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      cdf_[static_cast<std::size_t>(i)] = total;
+    }
+    for (auto& v : cdf_) v /= total;
+  }
+
+  std::int64_t Draw(Rng& rng) const {
+    const double u = rng.Uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto raw = static_cast<std::int64_t>(it - cdf_.begin());
+    return std::min<std::int64_t>(raw,
+                                  static_cast<std::int64_t>(cdf_.size()) - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+MovieLensData SimulateMovieLens(const MovieLensConfig& config) {
+  PTUCKER_CHECK(config.num_genres >= 1);
+  Rng rng(config.seed);
+
+  MovieLensData data;
+  data.movie_genre.resize(static_cast<std::size_t>(config.num_movies));
+  for (auto& genre : data.movie_genre) {
+    genre = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(config.num_genres)));
+  }
+  data.user_genre.resize(static_cast<std::size_t>(config.num_users));
+  for (auto& genre : data.user_genre) {
+    genre = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(config.num_genres)));
+  }
+
+  // Planted (genre, hour) relations: each genre gets a couple of strongly
+  // preferred hours, the Table VI ground truth.
+  data.genre_hour_boost.assign(
+      static_cast<std::size_t>(config.num_genres * config.num_hours), 0.0);
+  for (std::int64_t g = 0; g < config.num_genres; ++g) {
+    for (int peak = 0; peak < 2; ++peak) {
+      const std::int64_t hour = static_cast<std::int64_t>(
+          rng.UniformInt(static_cast<std::uint64_t>(config.num_hours)));
+      data.genre_hour_boost[static_cast<std::size_t>(
+          g * config.num_hours + hour)] += 0.35;
+    }
+  }
+
+  // Per-year drift of each genre (mild, so year matters but less than
+  // genre match).
+  std::vector<double> genre_year(
+      static_cast<std::size_t>(config.num_genres * config.num_years));
+  for (auto& v : genre_year) v = 0.1 * rng.Uniform();
+
+  const std::vector<std::int64_t> dims = {config.num_users,
+                                          config.num_movies,
+                                          config.num_years,
+                                          config.num_hours};
+  SparseTensor tensor(dims);
+  tensor.Reserve(config.nnz);
+  PTUCKER_CHECK(config.nnz <= NumElements(dims));
+
+  const ZipfSampler user_sampler(config.num_users, config.popularity_skew);
+  const ZipfSampler movie_sampler(config.num_movies, config.popularity_skew);
+  const auto strides = ComputeStrides(dims);
+  std::unordered_set<std::int64_t> seen;
+  seen.reserve(static_cast<std::size_t>(config.nnz * 2));
+
+  std::int64_t emitted = 0;
+  std::int64_t index[4];
+  while (emitted < config.nnz) {
+    index[0] = user_sampler.Draw(rng);
+    index[1] = movie_sampler.Draw(rng);
+    index[2] = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(config.num_years)));
+    index[3] = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(config.num_hours)));
+    const std::int64_t key = Linearize(index, strides, 4);
+    if (!seen.insert(key).second) continue;
+
+    const std::int64_t genre =
+        data.movie_genre[static_cast<std::size_t>(index[1])];
+    const bool genre_match =
+        data.user_genre[static_cast<std::size_t>(index[0])] == genre;
+    double rating = 0.3;
+    if (genre_match) rating += 0.35;
+    rating += data.genre_hour_boost[static_cast<std::size_t>(
+        genre * config.num_hours + index[3])];
+    rating += genre_year[static_cast<std::size_t>(
+        genre * config.num_years + index[2])];
+    rating += rng.Normal(0.0, config.noise_stddev);
+    rating = std::clamp(rating, 0.0, 1.0);
+
+    tensor.AddEntry(index, rating);
+    ++emitted;
+  }
+  tensor.BuildModeIndex();
+  data.tensor = std::move(tensor);
+  return data;
+}
+
+}  // namespace ptucker

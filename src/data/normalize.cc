@@ -1,0 +1,36 @@
+#include "data/normalize.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+double NormalizationParams::Forward(double value) const {
+  if (max_value == min_value) return 0.5;
+  return (value - min_value) / (max_value - min_value);
+}
+
+double NormalizationParams::Inverse(double normalized) const {
+  if (max_value == min_value) return min_value;
+  return min_value + normalized * (max_value - min_value);
+}
+
+NormalizationParams NormalizeValues(SparseTensor* tensor) {
+  PTUCKER_CHECK(tensor != nullptr);
+  NormalizationParams params;
+  if (tensor->nnz() == 0) return params;
+
+  params.min_value = tensor->value(0);
+  params.max_value = tensor->value(0);
+  for (std::int64_t e = 1; e < tensor->nnz(); ++e) {
+    params.min_value = std::min(params.min_value, tensor->value(e));
+    params.max_value = std::max(params.max_value, tensor->value(e));
+  }
+  for (std::int64_t e = 0; e < tensor->nnz(); ++e) {
+    tensor->set_value(e, params.Forward(tensor->value(e)));
+  }
+  return params;
+}
+
+}  // namespace ptucker

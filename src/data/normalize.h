@@ -1,0 +1,30 @@
+#ifndef PTUCKER_DATA_NORMALIZE_H_
+#define PTUCKER_DATA_NORMALIZE_H_
+
+#include "tensor/sparse_tensor.h"
+
+namespace ptucker {
+
+/// The paper's preprocessing (§IV-A1): "we normalize all values of
+/// real-world tensors to numbers between 0 to 1". Min-max normalization
+/// over the observed values, with the inverse transform for mapping
+/// predictions back to the original scale.
+struct NormalizationParams {
+  double min_value = 0.0;
+  double max_value = 1.0;
+
+  /// Original-scale -> [0, 1].
+  double Forward(double value) const;
+  /// [0, 1] -> original scale.
+  double Inverse(double normalized) const;
+};
+
+/// Rescales the observed values of `tensor` in place to [0, 1] and
+/// returns the parameters needed to invert the transform. Constant-valued
+/// tensors map to 0.5 (any choice in [0,1] is valid; the midpoint keeps
+/// Inverse exact).
+NormalizationParams NormalizeValues(SparseTensor* tensor);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_DATA_NORMALIZE_H_

@@ -1,0 +1,35 @@
+#include "data/split.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+TrainTestSplit SplitObservedEntries(const SparseTensor& tensor,
+                                    double test_fraction, Rng& rng) {
+  PTUCKER_CHECK(test_fraction >= 0.0 && test_fraction < 1.0);
+  const std::int64_t entries = tensor.nnz();
+  const std::int64_t test_count =
+      static_cast<std::int64_t>(test_fraction * static_cast<double>(entries));
+
+  std::vector<bool> in_test(static_cast<std::size_t>(entries), false);
+  for (std::int64_t id : rng.Sample(entries, test_count)) {
+    in_test[static_cast<std::size_t>(id)] = true;
+  }
+
+  TrainTestSplit split{SparseTensor(tensor.dims()),
+                       SparseTensor(tensor.dims())};
+  split.train.Reserve(entries - test_count);
+  split.test.Reserve(test_count);
+  for (std::int64_t e = 0; e < entries; ++e) {
+    auto& target = in_test[static_cast<std::size_t>(e)] ? split.test
+                                                        : split.train;
+    target.AddEntry(tensor.index(e), tensor.value(e));
+  }
+  split.train.BuildModeIndex();
+  split.test.BuildModeIndex();
+  return split;
+}
+
+}  // namespace ptucker

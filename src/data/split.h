@@ -1,0 +1,24 @@
+#ifndef PTUCKER_DATA_SPLIT_H_
+#define PTUCKER_DATA_SPLIT_H_
+
+#include "tensor/sparse_tensor.h"
+#include "util/random.h"
+
+namespace ptucker {
+
+/// Train/test split of observed entries. The paper uses "90% of observed
+/// entries as training data and the rest of them as test data" (§IV-A1)
+/// for the test-RMSE metric of Fig. 11.
+struct TrainTestSplit {
+  SparseTensor train;
+  SparseTensor test;
+};
+
+/// Splits entries uniformly at random; `test_fraction` in [0, 1). Both
+/// halves keep the original dims and have their mode index built.
+TrainTestSplit SplitObservedEntries(const SparseTensor& tensor,
+                                    double test_fraction, Rng& rng);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_DATA_SPLIT_H_

@@ -1,0 +1,99 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "tensor/index.h"
+#include "util/logging.h"
+
+namespace ptucker {
+
+namespace {
+
+// 64-bit mix for coordinate dedup keys.
+std::uint64_t HashIndex(const std::int64_t* index, std::int64_t order) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::int64_t k = 0; k < order; ++k) {
+    h ^= static_cast<std::uint64_t>(index[k]) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Draws distinct coordinates via `draw` until `nnz` are collected.
+template <typename DrawFn>
+SparseTensor FillDistinct(const std::vector<std::int64_t>& dims,
+                          std::int64_t nnz, Rng& rng, DrawFn&& draw) {
+  const std::int64_t total = NumElements(dims);
+  PTUCKER_CHECK(nnz <= total);
+  SparseTensor tensor(dims);
+  tensor.Reserve(nnz);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz * 2));
+  std::vector<std::int64_t> index(dims.size());
+  const std::int64_t order = static_cast<std::int64_t>(dims.size());
+  std::int64_t emitted = 0;
+  // Hash-based dedup has a vanishing collision probability at our sizes;
+  // dense fallback below guards pathological fill ratios.
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = nnz * 64 + 1024;
+  while (emitted < nnz && attempts < max_attempts) {
+    ++attempts;
+    draw(index.data());
+    const std::uint64_t key = HashIndex(index.data(), order);
+    if (!seen.insert(key).second) continue;
+    tensor.AddEntry(index.data(), rng.Uniform());
+    ++emitted;
+  }
+  PTUCKER_CHECK(emitted == nnz);
+  tensor.BuildModeIndex();
+  return tensor;
+}
+
+}  // namespace
+
+SparseTensor UniformSparseTensor(const std::vector<std::int64_t>& dims,
+                                 std::int64_t nnz, Rng& rng) {
+  return FillDistinct(dims, nnz, rng, [&](std::int64_t* index) {
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      index[k] = static_cast<std::int64_t>(
+          rng.UniformInt(static_cast<std::uint64_t>(dims[k])));
+    }
+  });
+}
+
+SparseTensor UniformCubicTensor(std::int64_t order, std::int64_t dim,
+                                std::int64_t nnz, Rng& rng) {
+  return UniformSparseTensor(
+      std::vector<std::int64_t>(static_cast<std::size_t>(order), dim), nnz,
+      rng);
+}
+
+SparseTensor SkewedSparseTensor(const std::vector<std::int64_t>& dims,
+                                std::int64_t nnz, double skew, Rng& rng) {
+  PTUCKER_CHECK(skew >= 0.0);
+  // Per-mode cumulative Zipf(skew) tables for inverse-CDF sampling.
+  std::vector<std::vector<double>> cdf(dims.size());
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    auto& table = cdf[k];
+    table.resize(static_cast<std::size_t>(dims[k]));
+    double total = 0.0;
+    for (std::int64_t i = 0; i < dims[k]; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      table[static_cast<std::size_t>(i)] = total;
+    }
+    for (auto& v : table) v /= total;
+  }
+  return FillDistinct(dims, nnz, rng, [&](std::int64_t* index) {
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      const double u = rng.Uniform();
+      const auto& table = cdf[k];
+      const auto it = std::lower_bound(table.begin(), table.end(), u);
+      index[k] = static_cast<std::int64_t>(it - table.begin());
+      if (index[k] >= dims[k]) index[k] = dims[k] - 1;
+    }
+  });
+}
+
+}  // namespace ptucker

@@ -1,0 +1,34 @@
+#ifndef PTUCKER_DATA_SYNTHETIC_H_
+#define PTUCKER_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sparse_tensor.h"
+#include "util/random.h"
+
+namespace ptucker {
+
+/// Synthetic tensors matching the paper's data-scalability setup
+/// (§IV-B1): "random tensors of size I1=I2=…=IN with real-valued entries
+/// between 0 and 1", varying order, dimensionality, |Ω| and rank.
+
+/// `nnz` distinct uniform-random coordinates with Uniform[0,1) values.
+/// The mode index is already built on the returned tensor.
+SparseTensor UniformSparseTensor(const std::vector<std::int64_t>& dims,
+                                 std::int64_t nnz, Rng& rng);
+
+/// Cubic helper: dims = {dim, dim, …} (order times).
+SparseTensor UniformCubicTensor(std::int64_t order, std::int64_t dim,
+                                std::int64_t nnz, Rng& rng);
+
+/// Like UniformSparseTensor but with a Zipf-skewed marginal on each mode
+/// (exponent `skew`), so slice sizes |Ω(n,in)| are imbalanced. Real rating
+/// tensors look like this, and it is what makes the paper's dynamic
+/// scheduling matter (§IV-D).
+SparseTensor SkewedSparseTensor(const std::vector<std::int64_t>& dims,
+                                std::int64_t nnz, double skew, Rng& rng);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_DATA_SYNTHETIC_H_

@@ -1,0 +1,46 @@
+#ifndef PTUCKER_DISTRIBUTED_PARTITION_H_
+#define PTUCKER_DISTRIBUTED_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sparse_tensor.h"
+
+namespace ptucker {
+
+/// Assignment of one mode's factor rows to workers. rows_per_worker[w]
+/// lists the row indices owned by worker w (disjoint, covering all rows).
+struct RowPartition {
+  std::vector<std::vector<std::int64_t>> rows_per_worker;
+
+  std::int64_t num_workers() const {
+    return static_cast<std::int64_t>(rows_per_worker.size());
+  }
+};
+
+/// Cost of updating one row of A(mode): proportional to |Ω(n,in)| (the δ
+/// computations dominate; the J³ solve is constant per row). Used both
+/// for partitioning and for the simulator's compute model.
+std::int64_t RowUpdateCost(const SparseTensor& x, std::int64_t mode,
+                           std::int64_t row);
+
+/// Naive partitioning: contiguous equal-count row blocks. The distributed
+/// analog of static scheduling — ignores slice-size skew.
+RowPartition PartitionRowsBlock(const SparseTensor& x, std::int64_t mode,
+                                std::int64_t workers);
+
+/// Workload-aware partitioning (LPT greedy): rows sorted by descending
+/// |Ω(n,in)| are assigned to the currently lightest worker. The
+/// distributed analog of the paper's §III-D "careful distribution of
+/// work"; guarantees max-load ≤ (4/3 − 1/(3W)) · optimal.
+RowPartition PartitionRowsGreedy(const SparseTensor& x, std::int64_t mode,
+                                 std::int64_t workers);
+
+/// max worker load / mean worker load under RowUpdateCost (1.0 = perfectly
+/// balanced). Empty workers count toward the mean.
+double LoadImbalance(const SparseTensor& x, std::int64_t mode,
+                     const RowPartition& partition);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_DISTRIBUTED_PARTITION_H_

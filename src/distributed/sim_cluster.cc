@@ -1,0 +1,186 @@
+#include "distributed/sim_cluster.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/delta.h"
+#include "core/orthogonalize.h"
+#include "core/reconstruction.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace ptucker {
+
+namespace {
+
+void SolveRowLocal(const Matrix& b_plus_lambda, const double* c, double* row,
+                   std::int64_t rank) {
+  if (CholeskySolveRow(b_plus_lambda, c, row)) return;
+  LuDecomposition lu(b_plus_lambda);
+  if (lu.ok()) {
+    lu.Solve(c, row);
+    return;
+  }
+  for (std::int64_t j = 0; j < rank; ++j) row[j] = 0.0;
+}
+
+}  // namespace
+
+DistributedPTuckerResult SimulateDistributedPTucker(
+    const SparseTensor& x, const PTuckerOptions& options,
+    std::int64_t workers, PartitionStrategy strategy) {
+  if (workers < 1) {
+    throw std::invalid_argument("distributed: workers must be >= 1");
+  }
+  if (options.variant != PTuckerVariant::kMemory || options.update_core ||
+      options.sample_rate != 1.0) {
+    throw std::invalid_argument(
+        "distributed: only the kMemory variant without core update or "
+        "sampling is supported");
+  }
+  if (x.nnz() == 0 || !x.has_mode_index()) {
+    throw std::invalid_argument(
+        "distributed: tensor must be non-empty with a built mode index");
+  }
+  if (static_cast<std::int64_t>(options.core_dims.size()) != x.order()) {
+    throw std::invalid_argument("distributed: core_dims order mismatch");
+  }
+
+  const std::int64_t order = x.order();
+  Stopwatch total_clock;
+
+  // Plan: one partition per mode, fixed for the whole run (a real
+  // deployment would ship the owned slices of X to each worker once).
+  std::vector<RowPartition> plan;
+  plan.reserve(static_cast<std::size_t>(order));
+  for (std::int64_t mode = 0; mode < order; ++mode) {
+    plan.push_back(strategy == PartitionStrategy::kGreedy
+                       ? PartitionRowsGreedy(x, mode, workers)
+                       : PartitionRowsBlock(x, mode, workers));
+  }
+
+  // Identical initialization to PTuckerDecompose: same seed, same draw
+  // order — the simulation must produce the same factorization.
+  Rng rng(options.seed);
+  std::vector<Matrix> factors;
+  factors.reserve(static_cast<std::size_t>(order));
+  std::int64_t max_rank = 1;
+  for (std::int64_t n = 0; n < order; ++n) {
+    const std::int64_t rank = options.core_dims[static_cast<std::size_t>(n)];
+    PTUCKER_CHECK(rank >= 1 && rank <= x.dim(n));
+    Matrix factor(x.dim(n), rank);
+    factor.FillUniform(rng);
+    factors.push_back(std::move(factor));
+    max_rank = std::max(max_rank, rank);
+  }
+  DenseTensor core(options.core_dims);
+  core.FillUniform(rng);
+  CoreEntryList core_list(core);
+
+  DistributedPTuckerResult outcome;
+  outcome.stats.workers = workers;
+  PTuckerResult& result = outcome.result;
+  double previous_error = std::numeric_limits<double>::infinity();
+
+  Matrix b(max_rank, max_rank);
+  std::vector<double> c(static_cast<std::size_t>(max_rank));
+  std::vector<double> delta(static_cast<std::size_t>(max_rank));
+  std::vector<double> new_row(static_cast<std::size_t>(max_rank));
+
+  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    Stopwatch iteration_clock;
+    std::int64_t makespan = 0;
+    std::int64_t total_cost = 0;
+
+    for (std::int64_t mode = 0; mode < order; ++mode) {
+      const std::int64_t rank =
+          options.core_dims[static_cast<std::size_t>(mode)];
+      Matrix& factor = factors[static_cast<std::size_t>(mode)];
+      const RowPartition& partition =
+          plan[static_cast<std::size_t>(mode)];
+
+      std::int64_t mode_makespan = 0;
+      for (const auto& owned : partition.rows_per_worker) {
+        // Each worker updates its rows sequentially (simulated).
+        std::int64_t worker_cost = 0;
+        for (const std::int64_t row_index : owned) {
+          worker_cost += RowUpdateCost(x, mode, row_index);
+          const auto slice = x.Slice(mode, row_index);
+          if (slice.empty()) {
+            for (std::int64_t j = 0; j < rank; ++j) {
+              factor(row_index, j) = 0.0;
+            }
+            continue;
+          }
+          b.Fill(0.0);
+          std::fill(c.begin(), c.begin() + rank, 0.0);
+          for (const std::int64_t entry : slice) {
+            ComputeDelta(core_list, factors, x.index(entry), mode,
+                         delta.data());
+            // B is max_rank x max_rank; use the leading rank block.
+            for (std::int64_t i = 0; i < rank; ++i) {
+              const double scale = delta[static_cast<std::size_t>(i)];
+              if (scale == 0.0) continue;
+              Axpy(scale, delta.data(), b.Row(i), rank);
+            }
+            Axpy(x.value(entry), delta.data(), c.data(), rank);
+          }
+          Matrix system(rank, rank);
+          for (std::int64_t i = 0; i < rank; ++i) {
+            for (std::int64_t j = 0; j < rank; ++j) system(i, j) = b(i, j);
+            system(i, i) += options.lambda;
+          }
+          SolveRowLocal(system, c.data(), new_row.data(), rank);
+          for (std::int64_t j = 0; j < rank; ++j) {
+            factor(row_index, j) = new_row[static_cast<std::size_t>(j)];
+          }
+        }
+        mode_makespan = std::max(mode_makespan, worker_cost);
+        total_cost += worker_cost;
+      }
+      makespan += mode_makespan;
+
+      // Allgather of the refreshed A(mode): ring model moves
+      // (W-1)/W · payload per worker, W of them -> (W-1) · payload total.
+      outcome.stats.total_comm_bytes +=
+          (workers - 1) * x.dim(mode) * rank *
+          static_cast<std::int64_t>(sizeof(double));
+    }
+
+    const double error = ReconstructionError(x, core_list, factors);
+    IterationStats stats;
+    stats.iteration = iteration;
+    stats.error = error;
+    stats.core_nnz = core_list.size();
+    stats.seconds = iteration_clock.ElapsedSeconds();
+    result.iterations.push_back(stats);
+    outcome.stats.makespan_per_iteration.push_back(makespan);
+    outcome.stats.total_cost_per_iteration.push_back(total_cost);
+    outcome.stats.iterations_run = iteration;
+
+    const double change =
+        std::fabs(previous_error - error) / std::max(previous_error, 1e-12);
+    previous_error = error;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (options.orthogonalize_output) {
+    OrthogonalizeFactors(&factors, &core);
+    core_list = CoreEntryList(core);
+  }
+  result.final_error = ReconstructionError(x, core_list, factors);
+  result.model.factors = std::move(factors);
+  result.model.core = std::move(core);
+  result.total_seconds = total_clock.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,69 @@
+#ifndef PTUCKER_DISTRIBUTED_SIM_CLUSTER_H_
+#define PTUCKER_DISTRIBUTED_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "core/ptucker.h"
+#include "distributed/partition.h"
+#include "tensor/sparse_tensor.h"
+
+namespace ptucker {
+
+/// Simulation of the paper's future-work direction: "extending P-TUCKER
+/// to distributed platforms such as Hadoop or Spark".
+///
+/// The row-wise update rule makes distribution natural: rows of A(n) are
+/// independent, so each worker owns a row block per mode (CDTF-style,
+/// Shin et al. [24]) and, after updating its rows, allgathers them to the
+/// other workers. This module *simulates* that execution on one machine:
+/// workers run sequentially over their partitions (producing **bitwise
+/// the same factors** as the shared-memory solver — a tested invariant),
+/// while a cost model tracks what a real cluster would pay:
+///
+///  * compute: per-worker Σ RowUpdateCost, makespan = max over workers;
+///  * communication: each mode update allgathers In·Jn doubles, i.e.
+///    every other worker receives the refreshed rows (ring-allgather
+///    volume (W−1)/W · In·Jn·8 bytes per worker, W·that in total).
+struct DistributedStats {
+  std::int64_t workers = 1;
+  int iterations_run = 0;
+  /// Σ over modes and iterations of the allgather payload (bytes moved
+  /// across the network in total, ring model).
+  std::int64_t total_comm_bytes = 0;
+  /// Compute makespan per iteration in cost units (max worker load);
+  /// sums RowUpdateCost over the worker's rows across all modes.
+  std::vector<std::int64_t> makespan_per_iteration;
+  /// Total compute cost units per iteration (= serial work).
+  std::vector<std::int64_t> total_cost_per_iteration;
+
+  /// Parallel efficiency of iteration `i`: serial / (W · makespan).
+  double Efficiency(std::size_t i) const {
+    return static_cast<double>(total_cost_per_iteration[i]) /
+           (static_cast<double>(workers) *
+            static_cast<double>(makespan_per_iteration[i]));
+  }
+};
+
+enum class PartitionStrategy {
+  kBlock,   // contiguous row blocks (naive)
+  kGreedy,  // workload-aware LPT (the paper's careful distribution)
+};
+
+struct DistributedPTuckerResult {
+  PTuckerResult result;
+  DistributedStats stats;
+};
+
+/// Runs P-Tucker under the simulated cluster. Supports the kMemory
+/// variant (the cache table is node-local in a real deployment and the
+/// approx variant changes |G| mid-flight, which would need re-planning);
+/// throws std::invalid_argument otherwise.
+DistributedPTuckerResult SimulateDistributedPTucker(
+    const SparseTensor& x, const PTuckerOptions& options,
+    std::int64_t workers, PartitionStrategy strategy);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_DISTRIBUTED_SIM_CLUSTER_H_

@@ -1,0 +1,92 @@
+#include "linalg/blas.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  PTUCKER_CHECK(a.cols() == b.rows());
+  Matrix result(a.rows(), b.cols());
+  // i-k-j loop order keeps inner accesses sequential in row-major layout.
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    double* out = result.Row(i);
+    const double* lhs = a.Row(i);
+    for (std::int64_t k = 0; k < a.cols(); ++k) {
+      const double scale = lhs[k];
+      if (scale == 0.0) continue;
+      const double* rhs = b.Row(k);
+      for (std::int64_t j = 0; j < b.cols(); ++j) out[j] += scale * rhs[j];
+    }
+  }
+  return result;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  PTUCKER_CHECK(a.rows() == b.rows());
+  Matrix result(a.cols(), b.cols());
+  for (std::int64_t k = 0; k < a.rows(); ++k) {
+    const double* lhs = a.Row(k);
+    const double* rhs = b.Row(k);
+    for (std::int64_t i = 0; i < a.cols(); ++i) {
+      const double scale = lhs[i];
+      if (scale == 0.0) continue;
+      double* out = result.Row(i);
+      for (std::int64_t j = 0; j < b.cols(); ++j) out[j] += scale * rhs[j];
+    }
+  }
+  return result;
+}
+
+Matrix MatMulT(const Matrix& a, const Matrix& b) {
+  PTUCKER_CHECK(a.cols() == b.cols());
+  Matrix result(a.rows(), b.rows());
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    const double* lhs = a.Row(i);
+    double* out = result.Row(i);
+    for (std::int64_t j = 0; j < b.rows(); ++j) {
+      out[j] = Dot(lhs, b.Row(j), a.cols());
+    }
+  }
+  return result;
+}
+
+void MatVec(const Matrix& a, const double* x, double* y) {
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    y[i] = Dot(a.Row(i), x, a.cols());
+  }
+}
+
+void MatTVec(const Matrix& a, const double* x, double* y) {
+  for (std::int64_t j = 0; j < a.cols(); ++j) y[j] = 0.0;
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    Axpy(x[i], a.Row(i), y, a.cols());
+  }
+}
+
+double Dot(const double* x, const double* y, std::int64_t n) {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+void Axpy(double alpha, const double* x, double* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double Norm2(const double* x, std::int64_t n) {
+  return std::sqrt(Dot(x, x, n));
+}
+
+void SymmetricRank1Update(Matrix& b, const double* x) {
+  PTUCKER_CHECK(b.rows() == b.cols());
+  const std::int64_t n = b.rows();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double scale = x[i];
+    if (scale == 0.0) continue;
+    Axpy(scale, x, b.Row(i), n);
+  }
+}
+
+}  // namespace ptucker

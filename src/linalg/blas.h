@@ -1,0 +1,44 @@
+#ifndef PTUCKER_LINALG_BLAS_H_
+#define PTUCKER_LINALG_BLAS_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace ptucker {
+
+/// Dense kernels in the BLAS spirit, sized for this library's needs:
+/// factor-matrix Gram products (J x J, J <= ~16) and matricized-tensor
+/// products in the HOOI baselines.
+
+/// result = a * b. Shapes must agree (a.cols == b.rows).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// result = aᵀ * b, computed without materializing the transpose.
+Matrix MatTMul(const Matrix& a, const Matrix& b);
+
+/// result = a * bᵀ, computed without materializing the transpose.
+Matrix MatMulT(const Matrix& a, const Matrix& b);
+
+/// y = A x for a length-cols vector x; y has length rows.
+void MatVec(const Matrix& a, const double* x, double* y);
+
+/// y = Aᵀ x for a length-rows vector x; y has length cols.
+void MatTVec(const Matrix& a, const double* x, double* y);
+
+/// Dot product of two length-n vectors.
+double Dot(const double* x, const double* y, std::int64_t n);
+
+/// y += alpha * x (length n).
+void Axpy(double alpha, const double* x, double* y, std::int64_t n);
+
+/// Euclidean norm of a length-n vector.
+double Norm2(const double* x, std::int64_t n);
+
+/// Rank-1 symmetric update: B += x xᵀ for a length-n vector x and an n x n
+/// matrix B. This is the hot kernel building `B(n,in)` (Eq. 10).
+void SymmetricRank1Update(Matrix& b, const double* x);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_LINALG_BLAS_H_

@@ -1,0 +1,78 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+bool CholeskyFactor(const Matrix& a, Matrix* lower) {
+  PTUCKER_CHECK(a.rows() == a.cols());
+  const std::int64_t n = a.rows();
+  *lower = Matrix(n, n);
+  Matrix& l = *lower;
+  for (std::int64_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::int64_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double sqrt_diag = std::sqrt(diag);
+    l(j, j) = sqrt_diag;
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::int64_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / sqrt_diag;
+    }
+  }
+  return true;
+}
+
+void CholeskySolveFactored(const Matrix& lower, const double* b, double* x) {
+  const std::int64_t n = lower.rows();
+  // Forward substitution: L y = b.
+  for (std::int64_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = lower.Row(i);
+    for (std::int64_t k = 0; k < i; ++k) sum -= row[k] * x[k];
+    x[i] = sum / row[i];
+  }
+  // Back substitution: Lᵀ x = y.
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    double sum = x[i];
+    for (std::int64_t k = i + 1; k < n; ++k) sum -= lower(k, i) * x[k];
+    x[i] = sum / lower(i, i);
+  }
+}
+
+bool CholeskySolve(const Matrix& a, const double* b, double* x) {
+  Matrix lower;
+  if (!CholeskyFactor(a, &lower)) return false;
+  CholeskySolveFactored(lower, b, x);
+  return true;
+}
+
+bool CholeskySolveRow(const Matrix& a, const double* c, double* row) {
+  // A is symmetric at the Eq. 9 call site, so solving A xᵀ = cᵀ yields the
+  // same row vector as x A = c.
+  return CholeskySolve(a, c, row);
+}
+
+bool CholeskyInverse(const Matrix& a, Matrix* inverse) {
+  Matrix lower;
+  if (!CholeskyFactor(a, &lower)) return false;
+  const std::int64_t n = a.rows();
+  *inverse = Matrix(n, n);
+  std::vector<double> unit(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> column(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    unit[static_cast<std::size_t>(j)] = 1.0;
+    CholeskySolveFactored(lower, unit.data(), column.data());
+    for (std::int64_t i = 0; i < n; ++i) {
+      (*inverse)(i, j) = column[static_cast<std::size_t>(i)];
+    }
+    unit[static_cast<std::size_t>(j)] = 0.0;
+  }
+  return true;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,38 @@
+#ifndef PTUCKER_LINALG_CHOLESKY_H_
+#define PTUCKER_LINALG_CHOLESKY_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace ptucker {
+
+/// Cholesky factorization and SPD solves.
+///
+/// P-Tucker's row update (Eq. 9) solves `row (B + λI) = c` where
+/// `B + λI` is symmetric positive-definite (Theorem 1). Cholesky is the
+/// cheapest stable way to do that: O(J³/3) per row for the J x J system.
+
+/// Factors SPD `a` as L Lᵀ in-place into the lower triangle of the returned
+/// matrix (upper triangle zeroed). Returns false (and leaves the output
+/// unspecified) if `a` is not positive-definite.
+bool CholeskyFactor(const Matrix& a, Matrix* lower);
+
+/// Solves L Lᵀ x = b given the factor `lower`; `b` and `x` have length n.
+/// `x` may alias `b`.
+void CholeskySolveFactored(const Matrix& lower, const double* b, double* x);
+
+/// One-shot SPD solve of A x = b. Returns false if not positive-definite.
+bool CholeskySolve(const Matrix& a, const double* b, double* x);
+
+/// Solves x (A) = c for a row-vector x, i.e. Aᵀ xᵀ = cᵀ. Since A is
+/// symmetric in our use this equals CholeskySolve; provided for clarity at
+/// the Eq. 9 call site. Returns false if not positive-definite.
+bool CholeskySolveRow(const Matrix& a, const double* c, double* row);
+
+/// Inverse of an SPD matrix via Cholesky. Returns false if not SPD.
+bool CholeskyInverse(const Matrix& a, Matrix* inverse);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_LINALG_CHOLESKY_H_

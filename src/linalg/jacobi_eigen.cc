@@ -1,0 +1,80 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+EigenResult JacobiEigen(const Matrix& a, int max_sweeps) {
+  PTUCKER_CHECK(a.rows() == a.cols());
+  const std::int64_t n = a.rows();
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass; stop when numerically diagonal.
+    double off = 0.0;
+    for (std::int64_t p = 0; p < n; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) off += work(p, q) * work(p, q);
+    }
+    if (off < 1e-28) break;
+
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable rotation: t = sign(theta) / (|theta| + sqrt(theta^2 + 1)).
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double akp = work(k, p);
+          const double akq = work(k, q);
+          work(k, p) = c * akp - s * akq;
+          work(k, q) = s * akp + c * akq;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double apk = work(p, k);
+          const double aqk = work(q, k);
+          work(p, k) = c * apk - s * aqk;
+          work(q, k) = s * apk + c * aqk;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return work(x, x) > work(y, y);
+  });
+
+  EigenResult result;
+  result.eigenvalues.resize(static_cast<std::size_t>(n));
+  result.eigenvectors = Matrix(n, n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int64_t src = order[static_cast<std::size_t>(j)];
+    result.eigenvalues[static_cast<std::size_t>(j)] = work(src, src);
+    for (std::int64_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, j) = v(i, src);
+    }
+  }
+  return result;
+}
+
+}  // namespace ptucker

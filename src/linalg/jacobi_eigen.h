@@ -1,0 +1,27 @@
+#ifndef PTUCKER_LINALG_JACOBI_EIGEN_H_
+#define PTUCKER_LINALG_JACOBI_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ptucker {
+
+/// Symmetric eigendecomposition A = V diag(λ) Vᵀ via the cyclic Jacobi
+/// method. Eigenvalues are returned in descending order with matching
+/// eigenvector columns.
+///
+/// The HOOI baselines need the leading eigenvectors of small Gram matrices
+/// (K x K with K = Π_{m≠n} Jm); Jacobi is simple, robust, and accurate at
+/// these sizes.
+struct EigenResult {
+  std::vector<double> eigenvalues;  // descending
+  Matrix eigenvectors;              // columns match eigenvalues
+};
+
+/// Requires `a` symmetric. `max_sweeps` bounds the cyclic sweeps.
+EigenResult JacobiEigen(const Matrix& a, int max_sweeps = 64);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_LINALG_JACOBI_EIGEN_H_

@@ -1,0 +1,97 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+LuDecomposition::LuDecomposition(const Matrix& a)
+    : n_(a.rows()), lu_(a), pivots_(static_cast<std::size_t>(a.rows())) {
+  PTUCKER_CHECK(a.rows() == a.cols());
+  ok_ = true;
+  for (std::int64_t col = 0; col < n_; ++col) {
+    // Partial pivoting: pick the largest magnitude in this column.
+    std::int64_t pivot = col;
+    double best = std::fabs(lu_(col, col));
+    for (std::int64_t i = col + 1; i < n_; ++i) {
+      const double candidate = std::fabs(lu_(i, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = i;
+      }
+    }
+    pivots_[static_cast<std::size_t>(col)] = pivot;
+    if (best < 1e-300) {
+      ok_ = false;
+      return;
+    }
+    if (pivot != col) {
+      for (std::int64_t j = 0; j < n_; ++j) {
+        std::swap(lu_(pivot, j), lu_(col, j));
+      }
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double inv_diag = 1.0 / lu_(col, col);
+    for (std::int64_t i = col + 1; i < n_; ++i) {
+      const double factor = lu_(i, col) * inv_diag;
+      lu_(i, col) = factor;
+      if (factor == 0.0) continue;
+      for (std::int64_t j = col + 1; j < n_; ++j) {
+        lu_(i, j) -= factor * lu_(col, j);
+      }
+    }
+  }
+}
+
+void LuDecomposition::Solve(const double* b, double* x) const {
+  PTUCKER_CHECK(ok_);
+  for (std::int64_t i = 0; i < n_; ++i) x[i] = b[i];
+  // Apply the row permutation, then forward/back substitution.
+  for (std::int64_t i = 0; i < n_; ++i) {
+    const std::int64_t p = pivots_[static_cast<std::size_t>(i)];
+    if (p != i) std::swap(x[i], x[p]);
+  }
+  for (std::int64_t i = 1; i < n_; ++i) {
+    double sum = x[i];
+    const double* row = lu_.Row(i);
+    for (std::int64_t k = 0; k < i; ++k) sum -= row[k] * x[k];
+    x[i] = sum;
+  }
+  for (std::int64_t i = n_ - 1; i >= 0; --i) {
+    double sum = x[i];
+    const double* row = lu_.Row(i);
+    for (std::int64_t k = i + 1; k < n_; ++k) sum -= row[k] * x[k];
+    x[i] = sum / row[i];
+  }
+}
+
+Matrix LuDecomposition::Solve(const Matrix& b) const {
+  PTUCKER_CHECK(b.rows() == n_);
+  Matrix result(n_, b.cols());
+  std::vector<double> rhs(static_cast<std::size_t>(n_));
+  std::vector<double> sol(static_cast<std::size_t>(n_));
+  for (std::int64_t j = 0; j < b.cols(); ++j) {
+    for (std::int64_t i = 0; i < n_; ++i) {
+      rhs[static_cast<std::size_t>(i)] = b(i, j);
+    }
+    Solve(rhs.data(), sol.data());
+    for (std::int64_t i = 0; i < n_; ++i) {
+      result(i, j) = sol[static_cast<std::size_t>(i)];
+    }
+  }
+  return result;
+}
+
+Matrix LuDecomposition::Inverse() const {
+  return Solve(Matrix::Identity(n_));
+}
+
+double LuDecomposition::Determinant() const {
+  if (!ok_) return 0.0;
+  double det = pivot_sign_;
+  for (std::int64_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace ptucker

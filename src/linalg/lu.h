@@ -1,0 +1,44 @@
+#ifndef PTUCKER_LINALG_LU_H_
+#define PTUCKER_LINALG_LU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ptucker {
+
+/// LU decomposition with partial pivoting, for the general (non-SPD)
+/// square systems that appear in the core-update extension and as a
+/// fallback where Cholesky declines.
+class LuDecomposition {
+ public:
+  /// Factors `a` (square). Check `ok()` before solving.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// False if the matrix is numerically singular.
+  bool ok() const { return ok_; }
+
+  /// Solves A x = b. Requires ok().
+  void Solve(const double* b, double* x) const;
+
+  /// Solves A X = B column-by-column. Requires ok().
+  Matrix Solve(const Matrix& b) const;
+
+  /// A⁻¹. Requires ok().
+  Matrix Inverse() const;
+
+  /// det(A); 0 when singular.
+  double Determinant() const;
+
+ private:
+  std::int64_t n_;
+  Matrix lu_;
+  std::vector<std::int64_t> pivots_;
+  int pivot_sign_ = 1;
+  bool ok_ = false;
+};
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_LINALG_LU_H_

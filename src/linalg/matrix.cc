@@ -1,0 +1,70 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), 0.0) {
+  PTUCKER_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols, double value)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), value) {
+  PTUCKER_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  PTUCKER_CHECK(static_cast<std::size_t>(rows * cols) == data_.size());
+}
+
+Matrix Matrix::Identity(std::int64_t n) {
+  Matrix eye(n, n);
+  for (std::int64_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+void Matrix::Fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix result(cols_, rows_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      result(j, i) = (*this)(i, j);
+    }
+  }
+  return result;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  PTUCKER_CHECK(SameShape(other));
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+void Matrix::Scale(double factor) {
+  for (auto& v : data_) v *= factor;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tolerance) {
+  if (!a.SameShape(b)) return false;
+  return a.MaxAbsDiff(b) <= tolerance;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,96 @@
+#ifndef PTUCKER_LINALG_MATRIX_H_
+#define PTUCKER_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ptucker {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the factor-matrix type `A(n) ∈ R^{In×Jn}` of the paper and the
+/// workhorse of the linear-algebra substrate. Row-major layout matters:
+/// P-Tucker's row-wise ALS reads and writes whole rows, and row pointers
+/// are handed to per-thread scratch kernels without copies.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::int64_t rows, std::int64_t cols);
+
+  /// Matrix filled with `value`.
+  Matrix(std::int64_t rows, std::int64_t cols, double value);
+
+  /// Builds from nested initializer-like data; `data` is row-major and must
+  /// have rows*cols elements.
+  Matrix(std::int64_t rows, std::int64_t cols, std::vector<double> data);
+
+  static Matrix Identity(std::int64_t n);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+
+  double& operator()(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double operator()(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Pointer to the start of row `i`.
+  double* Row(std::int64_t i) {
+    return data_.data() + static_cast<std::size_t>(i * cols_);
+  }
+  const double* Row(std::int64_t i) const {
+    return data_.data() + static_cast<std::size_t>(i * cols_);
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// Fills with uniform values in [0, 1) from `rng` (paper's
+  /// initialization of factor matrices).
+  template <typename RngType>
+  void FillUniform(RngType& rng) {
+    for (auto& v : data_) v = rng.Uniform();
+  }
+
+  Matrix Transposed() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Max |a_ij - b_ij|; matrices must be the same shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// In-place scale.
+  void Scale(double factor);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Bytes of payload (excludes the object header); used when charging the
+  /// intermediate-memory tracker.
+  std::int64_t ByteSize() const {
+    return static_cast<std::int64_t>(sizeof(double)) * rows_ * cols_;
+  }
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::vector<double> data_;
+};
+
+/// Element-wise equality within `tolerance`.
+bool AllClose(const Matrix& a, const Matrix& b, double tolerance);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_LINALG_MATRIX_H_

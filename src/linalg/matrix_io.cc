@@ -1,0 +1,77 @@
+#include "linalg/matrix_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ptucker {
+
+std::string FormatMatrix(const Matrix& matrix) {
+  std::ostringstream out;
+  char buffer[32];
+  for (std::int64_t i = 0; i < matrix.rows(); ++i) {
+    for (std::int64_t j = 0; j < matrix.cols(); ++j) {
+      if (j > 0) out << ' ';
+      std::snprintf(buffer, sizeof(buffer), "%.17g", matrix(i, j));
+      out << buffer;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Matrix ParseMatrix(const std::string& content) {
+  std::istringstream in(content);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream tokens(line);
+    std::vector<double> row;
+    double value = 0.0;
+    while (tokens >> value) row.push_back(value);
+    if (!tokens.eof()) {
+      throw std::runtime_error("matrix parse error at line " +
+                               std::to_string(line_number) +
+                               ": non-numeric token");
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      throw std::runtime_error("matrix parse error at line " +
+                               std::to_string(line_number) +
+                               ": ragged row");
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    throw std::runtime_error("matrix parse error: no data");
+  }
+  Matrix result(static_cast<std::int64_t>(rows.size()),
+                static_cast<std::int64_t>(rows.front().size()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows[i].size(); ++j) {
+      result(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j)) =
+          rows[i][j];
+    }
+  }
+  return result;
+}
+
+void WriteMatrix(const std::string& path, const Matrix& matrix) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for write: " + path);
+  out << FormatMatrix(matrix);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Matrix ReadMatrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open matrix file: " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return ParseMatrix(content.str());
+}
+
+}  // namespace ptucker

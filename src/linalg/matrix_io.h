@@ -1,0 +1,23 @@
+#ifndef PTUCKER_LINALG_MATRIX_IO_H_
+#define PTUCKER_LINALG_MATRIX_IO_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace ptucker {
+
+/// Plain-text matrix serialization: one row per line, space-separated
+/// values (the format factor matrices are exchanged in by the CLI tool
+/// and by downstream analysis scripts). Parsing infers the shape and
+/// throws std::runtime_error on ragged or non-numeric input.
+
+std::string FormatMatrix(const Matrix& matrix);
+Matrix ParseMatrix(const std::string& content);
+
+void WriteMatrix(const std::string& path, const Matrix& matrix);
+Matrix ReadMatrix(const std::string& path);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_LINALG_MATRIX_IO_H_

@@ -1,0 +1,98 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.h"
+#include "util/logging.h"
+
+namespace ptucker {
+
+QrResult HouseholderQr(const Matrix& a) {
+  const std::int64_t m = a.rows();
+  const std::int64_t n = a.cols();
+  PTUCKER_CHECK(m >= n);
+
+  // Work on a copy; accumulate the Householder vectors in-place below the
+  // diagonal and R above it, LAPACK-style.
+  Matrix work = a;
+  std::vector<double> taus(static_cast<std::size_t>(n), 0.0);
+
+  for (std::int64_t k = 0; k < n; ++k) {
+    // Build the Householder reflector annihilating work(k+1..m-1, k).
+    double norm = 0.0;
+    for (std::int64_t i = k; i < m; ++i) norm += work(i, k) * work(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      taus[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    const double alpha = work(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = work(k, k) - alpha;
+    // Normalize the reflector so v[k] = 1.
+    for (std::int64_t i = k + 1; i < m; ++i) work(i, k) /= v0;
+    taus[static_cast<std::size_t>(k)] = -v0 / alpha;
+    work(k, k) = alpha;
+
+    // Apply the reflector to the trailing columns.
+    const double tau = taus[static_cast<std::size_t>(k)];
+    for (std::int64_t j = k + 1; j < n; ++j) {
+      double dot = work(k, j);
+      for (std::int64_t i = k + 1; i < m; ++i) {
+        dot += work(i, k) * work(i, j);
+      }
+      dot *= tau;
+      work(k, j) -= dot;
+      for (std::int64_t i = k + 1; i < m; ++i) {
+        work(i, j) -= dot * work(i, k);
+      }
+    }
+  }
+
+  // Extract R (n x n upper-triangular).
+  Matrix r(n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i; j < n; ++j) r(i, j) = work(i, j);
+  }
+
+  // Form the thin Q by applying reflectors to the first n identity columns,
+  // right-to-left.
+  Matrix q(m, n);
+  for (std::int64_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::int64_t k = n - 1; k >= 0; --k) {
+    const double tau = taus[static_cast<std::size_t>(k)];
+    if (tau == 0.0) continue;
+    for (std::int64_t j = 0; j < n; ++j) {
+      double dot = q(k, j);
+      for (std::int64_t i = k + 1; i < m; ++i) dot += work(i, k) * q(i, j);
+      dot *= tau;
+      q(k, j) -= dot;
+      for (std::int64_t i = k + 1; i < m; ++i) q(i, j) -= dot * work(i, k);
+    }
+  }
+
+  // Normalize signs: make diag(R) >= 0 by flipping matched columns of Q and
+  // rows of R (Q R is unchanged).
+  for (std::int64_t k = 0; k < n; ++k) {
+    if (r(k, k) < 0.0) {
+      for (std::int64_t j = k; j < n; ++j) r(k, j) = -r(k, j);
+      for (std::int64_t i = 0; i < m; ++i) q(i, k) = -q(i, k);
+    }
+  }
+
+  return {std::move(q), std::move(r)};
+}
+
+double OrthonormalityDefect(const Matrix& q) {
+  Matrix gram = MatTMul(q, q);
+  double defect = 0.0;
+  for (std::int64_t i = 0; i < gram.rows(); ++i) {
+    for (std::int64_t j = 0; j < gram.cols(); ++j) {
+      const double expected = (i == j) ? 1.0 : 0.0;
+      defect = std::max(defect, std::fabs(gram(i, j) - expected));
+    }
+  }
+  return defect;
+}
+
+}  // namespace ptucker

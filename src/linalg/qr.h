@@ -1,0 +1,31 @@
+#ifndef PTUCKER_LINALG_QR_H_
+#define PTUCKER_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+
+namespace ptucker {
+
+/// Thin QR decomposition A = Q R of an m x n matrix with m >= n:
+/// Q is m x n with orthonormal columns, R is n x n upper-triangular.
+///
+/// P-Tucker's final step (Algorithm 2 lines 8-11, Eq. 7) orthogonalizes
+/// each factor matrix with exactly this decomposition, then folds R into
+/// the core: G ← G ×n R.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// Householder QR. Requires a.rows() >= a.cols().
+///
+/// The signs are normalized so that R has a non-negative diagonal, which
+/// makes the decomposition unique when A has full column rank and keeps
+/// test expectations stable.
+QrResult HouseholderQr(const Matrix& a);
+
+/// Max |(QᵀQ - I)_ij|: orthonormality defect used by tests.
+double OrthonormalityDefect(const Matrix& q);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_LINALG_QR_H_

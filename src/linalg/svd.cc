@@ -1,0 +1,214 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/jacobi_eigen.h"
+#include "util/logging.h"
+
+namespace ptucker {
+
+namespace {
+
+// Relative threshold below which a singular value is treated as zero.
+// The Gram-matrix route squares the condition number: a numerically zero
+// direction surfaces as σ ≈ √ε·σ_max ≈ 1e-8·σ_max, so the cutoff must sit
+// above that.
+constexpr double kSigmaEpsilon = 1e-7;
+
+}  // namespace
+
+GramSvd RightSingularVectorsFromGram(const Matrix& gram, std::int64_t rank) {
+  PTUCKER_CHECK(gram.rows() == gram.cols());
+  PTUCKER_CHECK(rank >= 1 && rank <= gram.rows());
+  EigenResult eigen = JacobiEigen(gram);
+
+  GramSvd result;
+  result.v = Matrix(gram.rows(), rank);
+  result.singular_values.resize(static_cast<std::size_t>(rank));
+  for (std::int64_t j = 0; j < rank; ++j) {
+    // Gram eigenvalues are σ²; clamp tiny negatives from roundoff.
+    const double lambda =
+        std::max(0.0, eigen.eigenvalues[static_cast<std::size_t>(j)]);
+    result.singular_values[static_cast<std::size_t>(j)] = std::sqrt(lambda);
+    for (std::int64_t i = 0; i < gram.rows(); ++i) {
+      result.v(i, j) = eigen.eigenvectors(i, j);
+    }
+  }
+  return result;
+}
+
+Matrix NormalizeBySingularValues(
+    const Matrix& av, const std::vector<double>& singular_values) {
+  const std::int64_t m = av.rows();
+  const std::int64_t r = av.cols();
+  PTUCKER_CHECK(static_cast<std::int64_t>(singular_values.size()) == r);
+
+  const double sigma_max =
+      singular_values.empty() ? 0.0 : singular_values.front();
+  const double threshold = std::max(sigma_max * kSigmaEpsilon, 1e-300);
+
+  Matrix u(m, r);
+  for (std::int64_t j = 0; j < r; ++j) {
+    const double sigma = singular_values[static_cast<std::size_t>(j)];
+    if (sigma > threshold) {
+      const double inv = 1.0 / sigma;
+      for (std::int64_t i = 0; i < m; ++i) u(i, j) = av(i, j) * inv;
+    } else {
+      // Rank-deficient column: complete with a canonical vector
+      // orthogonalized against the columns built so far.
+      for (std::int64_t seed = 0; seed < m; ++seed) {
+        for (std::int64_t i = 0; i < m; ++i) u(i, j) = (i == seed) ? 1.0 : 0.0;
+        // Two rounds of Gram-Schmidt for numerical safety.
+        for (int round = 0; round < 2; ++round) {
+          for (std::int64_t k = 0; k < j; ++k) {
+            double dot = 0.0;
+            for (std::int64_t i = 0; i < m; ++i) dot += u(i, k) * u(i, j);
+            for (std::int64_t i = 0; i < m; ++i) u(i, j) -= dot * u(i, k);
+          }
+        }
+        double norm = 0.0;
+        for (std::int64_t i = 0; i < m; ++i) norm += u(i, j) * u(i, j);
+        norm = std::sqrt(norm);
+        if (norm > 1e-6) {
+          for (std::int64_t i = 0; i < m; ++i) u(i, j) /= norm;
+          break;
+        }
+      }
+    }
+  }
+  return u;
+}
+
+SvdResult ThinSvd(const Matrix& a, std::int64_t rank) {
+  PTUCKER_CHECK(rank >= 1);
+  PTUCKER_CHECK(rank <= std::min(a.rows(), a.cols()));
+  SvdResult result;
+  if (a.rows() >= a.cols()) {
+    // Tall: eigendecompose the n x n Gram AᵀA.
+    const Matrix gram = MatTMul(a, a);
+    GramSvd right = RightSingularVectorsFromGram(gram, rank);
+    const Matrix av = MatMul(a, right.v);  // m x r
+    result.u = NormalizeBySingularValues(av, right.singular_values);
+    result.singular_values = std::move(right.singular_values);
+    result.v = std::move(right.v);
+  } else {
+    // Wide (the HOOI case when In < Π Jk): use the smaller m x m Gram
+    // AAᵀ, whose eigenvectors are the left singular vectors directly.
+    const Matrix gram = MatMulT(a, a);
+    GramSvd left = RightSingularVectorsFromGram(gram, rank);
+    Matrix atu(a.cols(), rank);
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+      const double* row = a.Row(i);
+      for (std::int64_t r = 0; r < rank; ++r) {
+        const double scale = left.v(i, r);
+        if (scale == 0.0) continue;
+        for (std::int64_t j = 0; j < a.cols(); ++j) {
+          atu(j, r) += scale * row[j];
+        }
+      }
+    }
+    result.v = NormalizeBySingularValues(atu, left.singular_values);
+    result.u = std::move(left.v);
+    result.singular_values = std::move(left.singular_values);
+  }
+  return result;
+}
+
+Matrix LeadingLeftSingularVectors(const Matrix& a, std::int64_t rank) {
+  return ThinSvd(a, rank).u;
+}
+
+SvdResult OneSidedJacobiSvd(const Matrix& a, int max_sweeps) {
+  const std::int64_t m = a.rows();
+  const std::int64_t n = a.cols();
+  PTUCKER_CHECK(m >= n);
+
+  Matrix work = a;  // columns get rotated in place
+  Matrix v = Matrix::Identity(n);
+
+  // Hestenes sweeps: rotate column pairs (p, q) to zero their inner
+  // product; stop when every pair is numerically orthogonal.
+  const double tolerance = 1e-15;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::int64_t i = 0; i < m; ++i) {
+          alpha += work(i, p) * work(i, p);
+          beta += work(i, q) * work(i, q);
+          gamma += work(i, p) * work(i, q);
+        }
+        if (std::fabs(gamma) <= tolerance * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::int64_t i = 0; i < m; ++i) {
+          const double wp = work(i, p);
+          const double wq = work(i, q);
+          work(i, p) = c * wp - s * wq;
+          work(i, q) = s * wp + c * wq;
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Column norms are the singular values; sort descending.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::vector<double> norms(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < m; ++i) sum += work(i, j) * work(i, j);
+    norms[static_cast<std::size_t>(j)] = std::sqrt(sum);
+    order[static_cast<std::size_t>(j)] = j;
+  }
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return norms[static_cast<std::size_t>(x)] >
+           norms[static_cast<std::size_t>(y)];
+  });
+
+  SvdResult result;
+  result.singular_values.resize(static_cast<std::size_t>(n));
+  Matrix av(m, n);
+  result.v = Matrix(n, n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int64_t src = order[static_cast<std::size_t>(j)];
+    result.singular_values[static_cast<std::size_t>(j)] =
+        norms[static_cast<std::size_t>(src)];
+    for (std::int64_t i = 0; i < m; ++i) av(i, j) = work(i, src);
+    for (std::int64_t i = 0; i < n; ++i) result.v(i, j) = v(i, src);
+  }
+  result.u = NormalizeBySingularValues(av, result.singular_values);
+  return result;
+}
+
+Matrix ExactSvdLeftSingularVectors(const Matrix& a, std::int64_t rank) {
+  const std::int64_t full_rank = std::min(a.rows(), a.cols());
+  PTUCKER_CHECK(rank >= 1 && rank <= full_rank);
+  const Matrix u_full = a.rows() >= a.cols()
+                            ? OneSidedJacobiSvd(a).u
+                            : ThinSvd(a, full_rank).u;
+  if (u_full.cols() == rank) return u_full;
+  Matrix u(u_full.rows(), rank);
+  for (std::int64_t i = 0; i < u.rows(); ++i) {
+    for (std::int64_t j = 0; j < rank; ++j) u(i, j) = u_full(i, j);
+  }
+  return u;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,198 @@
+#include "tensor/csf.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+CsfTensor::CsfTensor(const SparseTensor& x,
+                     std::vector<std::int64_t> mode_order)
+    : mode_order_(std::move(mode_order)), dims_(x.dims()) {
+  const std::int64_t order = x.order();
+  PTUCKER_CHECK(static_cast<std::int64_t>(mode_order_.size()) == order);
+  {
+    // Validate that mode_order_ is a permutation.
+    std::vector<std::int64_t> sorted = mode_order_;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::int64_t k = 0; k < order; ++k) PTUCKER_CHECK(sorted[k] == k);
+  }
+
+  // Sort entry ids lexicographically by the mode order.
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(x.nnz()));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](std::int64_t a, std::int64_t b) {
+    for (std::int64_t level = 0; level < order; ++level) {
+      const std::int64_t mode = mode_order_[static_cast<std::size_t>(level)];
+      const std::int64_t ia = x.index(a, mode);
+      const std::int64_t ib = x.index(b, mode);
+      if (ia != ib) return ia < ib;
+    }
+    return false;
+  });
+
+  fids_.assign(static_cast<std::size_t>(order), {});
+  fptr_.assign(static_cast<std::size_t>(order - 1), {0});
+  values_.reserve(static_cast<std::size_t>(x.nnz()));
+
+  // Walk the sorted entries; open a new node at level l whenever the
+  // prefix (levels 0..l) differs from the previous entry's.
+  std::vector<std::int64_t> previous(static_cast<std::size_t>(order), -1);
+  for (std::size_t p = 0; p < perm.size(); ++p) {
+    const std::int64_t e = perm[p];
+    std::int64_t first_change = order;
+    for (std::int64_t level = 0; level < order; ++level) {
+      const std::int64_t mode = mode_order_[static_cast<std::size_t>(level)];
+      if (x.index(e, mode) != previous[static_cast<std::size_t>(level)]) {
+        first_change = level;
+        break;
+      }
+    }
+    // Duplicate coordinates collapse into the same leaf (values summed).
+    if (first_change == order) {
+      values_.back() += x.value(e);
+      continue;
+    }
+    for (std::int64_t level = first_change; level < order; ++level) {
+      const std::int64_t mode = mode_order_[static_cast<std::size_t>(level)];
+      const std::int64_t coord = x.index(e, mode);
+      fids_[static_cast<std::size_t>(level)].push_back(coord);
+      previous[static_cast<std::size_t>(level)] = coord;
+      if (level < order - 1) {
+        // Children of deeper levels restart.
+        previous[static_cast<std::size_t>(level + 1)] = -1;
+      }
+    }
+    values_.push_back(x.value(e));
+    // Update fptr: each level's node points one past its current children.
+    for (std::int64_t level = 0; level < order - 1; ++level) {
+      auto& ptr = fptr_[static_cast<std::size_t>(level)];
+      const std::int64_t n_here = num_nodes(level);
+      const std::int64_t n_below = num_nodes(level + 1);
+      ptr.resize(static_cast<std::size_t>(n_here) + 1);
+      ptr[static_cast<std::size_t>(n_here)] = n_below;
+    }
+  }
+  // Backfill fptr starts for nodes created before their first child count
+  // was recorded: fptr is built as "end of children" per node; starts come
+  // from the previous node's end.
+  for (std::int64_t level = 0; level < order - 1; ++level) {
+    auto& ptr = fptr_[static_cast<std::size_t>(level)];
+    if (ptr.empty()) ptr.push_back(0);
+    ptr[0] = 0;
+  }
+}
+
+Matrix CsfTensor::TtmcRoot(const std::vector<Matrix>& factors,
+                           MemoryTracker* tracker) const {
+  const std::int64_t order = this->order();
+  PTUCKER_CHECK(static_cast<std::int64_t>(factors.size()) == order);
+  const std::int64_t root_mode = mode_order_[0];
+
+  // vec_size[l]: length of the partial Kronecker vector carried by a node
+  // at level l, covering modes mode_order_[l..order-1].
+  std::vector<std::int64_t> vec_size(static_cast<std::size_t>(order) + 1, 1);
+  for (std::int64_t level = order - 1; level >= 1; --level) {
+    const std::int64_t mode = mode_order_[static_cast<std::size_t>(level)];
+    vec_size[static_cast<std::size_t>(level)] =
+        vec_size[static_cast<std::size_t>(level + 1)] *
+        factors[static_cast<std::size_t>(mode)].cols();
+  }
+  const std::int64_t n_cols = vec_size[1];
+
+  const std::int64_t scratch_bytes =
+      static_cast<std::int64_t>(sizeof(double)) *
+      (factors[static_cast<std::size_t>(root_mode)].rows() * n_cols +
+       2 * n_cols * order);
+  ScopedCharge charge(tracker, scratch_bytes);
+
+  Matrix y(factors[static_cast<std::size_t>(root_mode)].rows(), n_cols);
+
+  // Per-level accumulation buffers for the DFS below.
+  std::vector<std::vector<double>> accumulator(
+      static_cast<std::size_t>(order));
+  for (std::int64_t level = 1; level < order; ++level) {
+    accumulator[static_cast<std::size_t>(level)].resize(
+        static_cast<std::size_t>(vec_size[static_cast<std::size_t>(level)]));
+  }
+
+  // Post-order DFS: child vectors are summed into `sum_below`, then the
+  // node expands them by its factor row. The expansion at a shared prefix
+  // happens once per *node*, not once per nonzero — the CSF saving.
+  // Column layout: expanding mode j at level l maps (t, j) -> t*Jl + j, so
+  // the lowest-level... see csf.h: lowest mode index ends up fastest,
+  // matching SparseTtmChain.
+  auto expand = [&](std::int64_t level, std::int64_t coord,
+                    const double* child, double* out) {
+    const std::int64_t mode = mode_order_[static_cast<std::size_t>(level)];
+    const Matrix& a = factors[static_cast<std::size_t>(mode)];
+    const std::int64_t j_count = a.cols();
+    const std::int64_t below = vec_size[static_cast<std::size_t>(level + 1)];
+    const double* row = a.Row(coord);
+    for (std::int64_t t = 0; t < below; ++t) {
+      const double scale = child[t];
+      double* dst = out + t * j_count;
+      for (std::int64_t j = 0; j < j_count; ++j) dst[j] += scale * row[j];
+    }
+  };
+
+  // Recursive lambda over [begin, end) node ranges of `level`, writing the
+  // summed expansion of those nodes into `out` (size vec_size[level]).
+  auto dfs = [&](auto&& self, std::int64_t level, std::int64_t begin,
+                 std::int64_t end, double* out) -> void {
+    const bool leaf_level = (level == order - 1);
+    auto& child_buffer = leaf_level
+                             ? accumulator[0]  // unused at leaves
+                             : accumulator[static_cast<std::size_t>(level + 1)];
+    for (std::int64_t node = begin; node < end; ++node) {
+      const std::int64_t coord =
+          fids_[static_cast<std::size_t>(level)][static_cast<std::size_t>(node)];
+      if (leaf_level) {
+        const double value = values_[static_cast<std::size_t>(node)];
+        const std::int64_t mode =
+            mode_order_[static_cast<std::size_t>(level)];
+        const Matrix& a = factors[static_cast<std::size_t>(mode)];
+        const double* row = a.Row(coord);
+        for (std::int64_t j = 0; j < a.cols(); ++j) out[j] += value * row[j];
+      } else {
+        std::fill(child_buffer.begin(), child_buffer.end(), 0.0);
+        const auto& ptr = fptr_[static_cast<std::size_t>(level)];
+        self(self, level + 1, ptr[static_cast<std::size_t>(node)],
+             ptr[static_cast<std::size_t>(node) + 1], child_buffer.data());
+        expand(level, coord, child_buffer.data(), out);
+      }
+    }
+  };
+
+  if (order == 1) {
+    for (std::int64_t node = 0; node < num_nodes(0); ++node) {
+      y(fids_[0][static_cast<std::size_t>(node)], 0) +=
+          values_[static_cast<std::size_t>(node)];
+    }
+    return y;
+  }
+
+  // Root level: each root node writes directly into its Y row.
+  const auto& root_ptr = fptr_[0];
+  for (std::int64_t node = 0; node < num_nodes(0); ++node) {
+    const std::int64_t coord = fids_[0][static_cast<std::size_t>(node)];
+    dfs(dfs, 1, root_ptr[static_cast<std::size_t>(node)],
+        root_ptr[static_cast<std::size_t>(node) + 1], y.Row(coord));
+  }
+  return y;
+}
+
+std::int64_t CsfTensor::ByteSize() const {
+  std::int64_t bytes =
+      static_cast<std::int64_t>(values_.size() * sizeof(double));
+  for (const auto& level : fids_) {
+    bytes += static_cast<std::int64_t>(level.size() * sizeof(std::int64_t));
+  }
+  for (const auto& level : fptr_) {
+    bytes += static_cast<std::int64_t>(level.size() * sizeof(std::int64_t));
+  }
+  return bytes;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,44 @@
+#include "tensor/dense_tensor.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+DenseTensor::DenseTensor(std::vector<std::int64_t> dims)
+    : dims_(std::move(dims)), strides_(ComputeStrides(dims_)),
+      data_(static_cast<std::size_t>(NumElements(dims_)), 0.0) {
+  for (std::int64_t d : dims_) PTUCKER_CHECK(d > 0);
+}
+
+void DenseTensor::Fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+void DenseTensor::Scale(double factor) {
+  for (auto& v : data_) v *= factor;
+}
+
+double DenseTensor::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+std::int64_t DenseTensor::CountNonZeros() const {
+  std::int64_t count = 0;
+  for (double v : data_) count += (v != 0.0) ? 1 : 0;
+  return count;
+}
+
+double MaxAbsDiff(const DenseTensor& a, const DenseTensor& b) {
+  PTUCKER_CHECK(a.dims() == b.dims());
+  double max_diff = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,92 @@
+#ifndef PTUCKER_TENSOR_DENSE_TENSOR_H_
+#define PTUCKER_TENSOR_DENSE_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/index.h"
+
+namespace ptucker {
+
+/// Dense N-order tensor, mode 0 fastest (Eq. 1 layout).
+///
+/// This is the paper's core tensor `G ∈ R^{J1×…×JN}` ("smaller and denser
+/// than the input"), and the dense intermediate of the wOpt baseline.
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+
+  /// Zero-initialized tensor with the given mode dimensionalities.
+  explicit DenseTensor(std::vector<std::int64_t> dims);
+
+  std::int64_t order() const {
+    return static_cast<std::int64_t>(dims_.size());
+  }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::int64_t dim(std::int64_t mode) const {
+    return dims_[static_cast<std::size_t>(mode)];
+  }
+  const std::vector<std::int64_t>& strides() const { return strides_; }
+
+  /// Total element count Π Jn (the paper's |G| when fully dense).
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  double operator[](std::int64_t linear) const {
+    return data_[static_cast<std::size_t>(linear)];
+  }
+  double& operator[](std::int64_t linear) {
+    return data_[static_cast<std::size_t>(linear)];
+  }
+
+  /// Element at a multi-index (length order()).
+  double at(const std::int64_t* index) const {
+    return data_[static_cast<std::size_t>(
+        Linearize(index, strides_, order()))];
+  }
+  double& at(const std::int64_t* index) {
+    return data_[static_cast<std::size_t>(
+        Linearize(index, strides_, order()))];
+  }
+
+  /// Recovers the multi-index of a linear offset.
+  void IndexOf(std::int64_t linear, std::int64_t* index) const {
+    Delinearize(linear, dims_, index);
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double value);
+
+  /// Uniform [0, 1) fill (the paper's core initialization).
+  template <typename RngType>
+  void FillUniform(RngType& rng) {
+    for (auto& v : data_) v = rng.Uniform();
+  }
+
+  double FrobeniusNorm() const;
+
+  /// In-place multiplication of every element by `factor`.
+  void Scale(double factor);
+
+  /// Count of non-zero elements (|G| after truncation).
+  std::int64_t CountNonZeros() const;
+
+  std::int64_t ByteSize() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(double));
+  }
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<std::int64_t> strides_;
+  std::vector<double> data_;
+};
+
+/// Max |a - b| over elements; shapes must match.
+double MaxAbsDiff(const DenseTensor& a, const DenseTensor& b);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_TENSOR_DENSE_TENSOR_H_

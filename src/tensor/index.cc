@@ -1,0 +1,62 @@
+#include "tensor/index.h"
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+std::int64_t NumElements(const std::vector<std::int64_t>& dims) {
+  std::int64_t count = 1;
+  for (std::int64_t d : dims) count *= d;
+  return count;
+}
+
+std::vector<std::int64_t> ComputeStrides(
+    const std::vector<std::int64_t>& dims) {
+  std::vector<std::int64_t> strides(dims.size());
+  std::int64_t stride = 1;
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    strides[k] = stride;
+    stride *= dims[k];
+  }
+  return strides;
+}
+
+std::int64_t Linearize(const std::int64_t* index,
+                       const std::vector<std::int64_t>& strides,
+                       std::int64_t order) {
+  std::int64_t linear = 0;
+  for (std::int64_t k = 0; k < order; ++k) linear += index[k] * strides[k];
+  return linear;
+}
+
+void Delinearize(std::int64_t linear, const std::vector<std::int64_t>& dims,
+                 std::int64_t* index) {
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    index[k] = linear % dims[k];
+    linear /= dims[k];
+  }
+}
+
+std::vector<std::int64_t> MatricizeColumnStrides(
+    const std::vector<std::int64_t>& dims, std::int64_t skip_mode) {
+  PTUCKER_CHECK(skip_mode >= 0 &&
+                skip_mode < static_cast<std::int64_t>(dims.size()));
+  std::vector<std::int64_t> strides(dims.size(), 0);
+  std::int64_t stride = 1;
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    if (static_cast<std::int64_t>(k) == skip_mode) continue;
+    strides[k] = stride;
+    stride *= dims[k];
+  }
+  return strides;
+}
+
+bool IndexInBounds(const std::int64_t* index,
+                   const std::vector<std::int64_t>& dims) {
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    if (index[k] < 0 || index[k] >= dims[k]) return false;
+  }
+  return true;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,41 @@
+#ifndef PTUCKER_TENSOR_INDEX_H_
+#define PTUCKER_TENSOR_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ptucker {
+
+/// Shape/stride helpers shared by the dense tensor, matricization and the
+/// solvers. The whole library uses the paper's Eq. (1) layout convention:
+/// mode 1 varies fastest ("column-major" over modes), so the stride of mode
+/// k is Π_{m<k} I_m. All indices are 0-based internally; the FROSTT text
+/// format converts from/to the paper's 1-based convention at the I/O layer.
+
+/// Π of all dims; 0-order tensors have 1 element.
+std::int64_t NumElements(const std::vector<std::int64_t>& dims);
+
+/// Strides with mode 0 fastest: stride[k] = Π_{m<k} dims[m].
+std::vector<std::int64_t> ComputeStrides(const std::vector<std::int64_t>& dims);
+
+/// Maps a multi-index to its linear offset under ComputeStrides(dims).
+std::int64_t Linearize(const std::int64_t* index,
+                       const std::vector<std::int64_t>& strides,
+                       std::int64_t order);
+
+/// Inverse of Linearize.
+void Delinearize(std::int64_t linear, const std::vector<std::int64_t>& dims,
+                 std::int64_t* index);
+
+/// Strides of the mode-n matricization columns (Eq. 1): the stride of mode
+/// k (k != n) is Π_{m<k, m≠n} dims[m]; entry n is 0 and unused.
+std::vector<std::int64_t> MatricizeColumnStrides(
+    const std::vector<std::int64_t>& dims, std::int64_t skip_mode);
+
+/// True if `index` is inside the box [0, dims).
+bool IndexInBounds(const std::int64_t* index,
+                   const std::vector<std::int64_t>& dims);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_TENSOR_INDEX_H_

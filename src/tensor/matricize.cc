@@ -1,0 +1,52 @@
+#include "tensor/matricize.h"
+
+#include "tensor/index.h"
+#include "util/logging.h"
+
+namespace ptucker {
+
+Matrix Matricize(const DenseTensor& tensor, std::int64_t mode) {
+  PTUCKER_CHECK(mode >= 0 && mode < tensor.order());
+  const std::int64_t rows = tensor.dim(mode);
+  const std::int64_t cols = tensor.size() / rows;
+  const auto col_strides = MatricizeColumnStrides(tensor.dims(), mode);
+
+  Matrix result(rows, cols);
+  std::vector<std::int64_t> index(static_cast<std::size_t>(tensor.order()));
+  for (std::int64_t linear = 0; linear < tensor.size(); ++linear) {
+    tensor.IndexOf(linear, index.data());
+    std::int64_t col = 0;
+    for (std::int64_t k = 0; k < tensor.order(); ++k) {
+      if (k == mode) continue;
+      col += index[static_cast<std::size_t>(k)] *
+             col_strides[static_cast<std::size_t>(k)];
+    }
+    result(index[static_cast<std::size_t>(mode)], col) = tensor[linear];
+  }
+  return result;
+}
+
+DenseTensor Dematricize(const Matrix& unfolded,
+                        const std::vector<std::int64_t>& dims,
+                        std::int64_t mode) {
+  PTUCKER_CHECK(mode >= 0 && mode < static_cast<std::int64_t>(dims.size()));
+  DenseTensor result(dims);
+  PTUCKER_CHECK(unfolded.rows() == result.dim(mode));
+  PTUCKER_CHECK(unfolded.cols() == result.size() / result.dim(mode));
+  const auto col_strides = MatricizeColumnStrides(dims, mode);
+
+  std::vector<std::int64_t> index(dims.size());
+  for (std::int64_t linear = 0; linear < result.size(); ++linear) {
+    result.IndexOf(linear, index.data());
+    std::int64_t col = 0;
+    for (std::int64_t k = 0; k < result.order(); ++k) {
+      if (k == mode) continue;
+      col += index[static_cast<std::size_t>(k)] *
+             col_strides[static_cast<std::size_t>(k)];
+    }
+    result[linear] = unfolded(index[static_cast<std::size_t>(mode)], col);
+  }
+  return result;
+}
+
+}  // namespace ptucker

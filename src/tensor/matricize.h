@@ -1,0 +1,24 @@
+#ifndef PTUCKER_TENSOR_MATRICIZE_H_
+#define PTUCKER_TENSOR_MATRICIZE_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+
+namespace ptucker {
+
+/// Mode-n matricization/unfolding (Definition 2, Eq. 1): X(n) has In rows
+/// and Π_{k≠n} Ik columns, with column index
+/// j = Σ_{k≠n} ik · Π_{m<k, m≠n} Im (0-based form of Eq. 1).
+Matrix Matricize(const DenseTensor& tensor, std::int64_t mode);
+
+/// Inverse of Matricize: folds an In x Π_{k≠n} Ik matrix back into a tensor
+/// with the given dims.
+DenseTensor Dematricize(const Matrix& unfolded,
+                        const std::vector<std::int64_t>& dims,
+                        std::int64_t mode);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_TENSOR_MATRICIZE_H_

@@ -1,0 +1,53 @@
+#ifndef PTUCKER_TENSOR_NMODE_H_
+#define PTUCKER_TENSOR_NMODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+#include "util/memory_tracker.h"
+
+namespace ptucker {
+
+/// n-mode product (Definition 3, Eq. 2): X ×n U with U ∈ R^{J×In}
+/// replaces mode n's dimensionality In by J:
+/// (X ×n U)[..., j, ...] = Σ_in U(j, in) · X[..., in, ...].
+DenseTensor ModeProduct(const DenseTensor& tensor, const Matrix& u,
+                        std::int64_t mode);
+
+/// Chain of n-mode products X ×1 U1 ··· ×N UN, skipping `skip_mode` (pass
+/// -1 to apply all). Used by HOOI (Algorithm 1 line 4) and the final core
+/// computation G = X ×1 A(1)ᵀ ··· ×N A(N)ᵀ.
+DenseTensor ModeProductChain(const DenseTensor& tensor,
+                             const std::vector<Matrix>& matrices,
+                             std::int64_t skip_mode);
+
+/// Tensor-times-matrix chain on a *sparse* tensor (missing entries treated
+/// as zeros, as the HOOI-family baselines do): returns
+/// Y(n) = X(n) · ⊗_{k≠n} A(k) of shape In x Π_{k≠n} Jk, computed
+/// nonzero-by-nonzero. `factors[k]` is A(k) ∈ R^{Ik×Jk}.
+///
+/// This materializes the paper's "intermediate data" — the tracker, when
+/// given, is charged for the full Y so intermediate-data explosion is
+/// observable and bounded.
+Matrix SparseTtmChain(const SparseTensor& x,
+                      const std::vector<Matrix>& factors,
+                      std::int64_t skip_mode,
+                      MemoryTracker* tracker = nullptr);
+
+/// Reconstructs one entry of G ×1 A(1) ··· ×N A(N) at `index` (Eq. 4).
+/// `core_index` is scratch of length order.
+double ReconstructEntry(const DenseTensor& core,
+                        const std::vector<Matrix>& factors,
+                        const std::int64_t* index);
+
+/// Dense reconstruction X̂ = G ×1 A(1) ··· ×N A(N). Only safe for small
+/// shapes; used by tests and the wOpt baseline.
+DenseTensor ReconstructDense(const DenseTensor& core,
+                             const std::vector<Matrix>& factors);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_TENSOR_NMODE_H_

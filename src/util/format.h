@@ -1,0 +1,43 @@
+#ifndef PTUCKER_UTIL_FORMAT_H_
+#define PTUCKER_UTIL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptucker {
+
+/// Human-readable byte count, e.g. "1.5 MB". Benchmarks print the
+/// intermediate-memory series of Figs. 8 and 10 with this.
+std::string FormatBytes(std::int64_t bytes);
+
+/// Fixed-precision double, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double value, int precision = 4);
+
+/// Joins items with a separator: JoinInts({1,2,3}, "x") == "1x2x3".
+/// Used to print tensor shapes the way the paper writes them.
+std::string JoinInts(const std::vector<std::int64_t>& items,
+                     const std::string& separator);
+
+/// Plain ASCII table writer used by the benchmark harness so every
+/// experiment prints the same rows/series layout the paper reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_UTIL_FORMAT_H_

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace ptucker {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger;
+  return *logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[ptucker %s] %s\n", LevelName(level),
+               message.c_str());
+}
+
+namespace internal_logging {
+
+void CheckFailed(const char* expression, const char* file, int line) {
+  std::fprintf(stderr, "[ptucker FATAL] CHECK failed: %s at %s:%d\n",
+               expression, file, line);
+  std::abort();
+}
+
+}  // namespace internal_logging
+
+}  // namespace ptucker

@@ -1,0 +1,84 @@
+#ifndef PTUCKER_UTIL_LOGGING_H_
+#define PTUCKER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ptucker {
+
+/// Severity levels for the library logger, ordered by importance.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Minimal thread-safe logger used across the library.
+///
+/// The library logs progress (per-iteration errors, truncation decisions,
+/// O.O.M. events) through this sink so applications can silence or capture
+/// it. The default sink writes to stderr.
+class Logger {
+ public:
+  /// Returns the process-wide logger.
+  static Logger& Get();
+
+  /// Sets the minimum level that is actually emitted.
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emits `message` at `level` (thread-safe).
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+};
+
+namespace internal_logging {
+
+/// Stream-style helper: accumulates a message and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace ptucker
+
+#define PTUCKER_LOG(level) \
+  ::ptucker::internal_logging::LogMessage(::ptucker::LogLevel::level)
+
+/// Checks an invariant in both debug and release builds; aborts with a
+/// diagnostic on failure. Used for programmer errors, not data errors.
+#define PTUCKER_CHECK(condition)                                        \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::ptucker::internal_logging::CheckFailed(#condition, __FILE__,    \
+                                               __LINE__);               \
+    }                                                                   \
+  } while (false)
+
+namespace ptucker::internal_logging {
+[[noreturn]] void CheckFailed(const char* expression, const char* file,
+                              int line);
+}  // namespace ptucker::internal_logging
+
+#endif  // PTUCKER_UTIL_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "util/memory_tracker.h"
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace ptucker {
+
+void MemoryTracker::Charge(std::int64_t bytes) {
+  PTUCKER_CHECK(bytes >= 0);
+  const std::int64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_bytes_ > 0 && now > budget_bytes_) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw OutOfMemoryBudget(
+        "intermediate-memory budget exceeded: need " + FormatBytes(now) +
+            ", budget " + FormatBytes(budget_bytes_),
+        now, budget_bytes_);
+  }
+  // Update the high-water mark. Racy CAS loop keeps it monotone.
+  std::int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Release(std::int64_t bytes) {
+  PTUCKER_CHECK(bytes >= 0);
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::Reset() {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ptucker

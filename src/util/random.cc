@@ -1,0 +1,98 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 top bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  PTUCKER_CHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t value = Next();
+  while (value >= limit) value = Next();
+  return value % n;
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+std::vector<std::int64_t> Rng::Sample(std::int64_t n, std::int64_t k) {
+  PTUCKER_CHECK(k >= 0 && k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::unordered_set<std::int64_t> chosen;
+  std::vector<std::int64_t> result;
+  result.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t j = n - k; j < n; ++j) {
+    std::int64_t candidate =
+        static_cast<std::int64_t>(UniformInt(static_cast<std::uint64_t>(j + 1)));
+    if (chosen.contains(candidate)) candidate = j;
+    chosen.insert(candidate);
+    result.push_back(candidate);
+  }
+  Shuffle(result);
+  return result;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,58 @@
+#ifndef PTUCKER_UTIL_RANDOM_H_
+#define PTUCKER_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ptucker {
+
+/// Deterministic pseudo-random generator (xoshiro256++).
+///
+/// The paper initializes factor matrices and the core tensor "with random
+/// real values between 0 and 1" and builds synthetic tensors from uniform
+/// entries; every stochastic step in this library draws from this engine so
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  /// Seeds the engine with splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Draws `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::int64_t> Sample(std::int64_t n, std::int64_t k);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_UTIL_RANDOM_H_

@@ -1,0 +1,32 @@
+#ifndef PTUCKER_UTIL_STOPWATCH_H_
+#define PTUCKER_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ptucker {
+
+/// Wall-clock stopwatch used for per-iteration timing in solvers and
+/// benchmarks. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_UTIL_STOPWATCH_H_

@@ -1,0 +1,99 @@
+#include "analytics/discovery.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+// A hand-built model: 6 entities in mode 0 whose factor rows form two
+// groups, and a core with one dominant entry.
+TuckerFactorization MakeModel() {
+  TuckerFactorization model;
+  Matrix a0(6, 2);
+  for (int i = 0; i < 3; ++i) {
+    a0(i, 0) = 1.0 + 0.01 * i;
+    a0(i, 1) = 0.0;
+  }
+  for (int i = 3; i < 6; ++i) {
+    a0(i, 0) = 0.0;
+    a0(i, 1) = 1.0 + 0.01 * i;
+  }
+  Matrix a1(4, 2);
+  for (int i = 0; i < 4; ++i) a1(i, i % 2) = static_cast<double>(i + 1);
+  model.factors = {a0, a1};
+  model.core = DenseTensor({2, 2});
+  model.core[0] = 0.1;   // (0,0)
+  model.core[1] = -5.0;  // (1,0)  <- dominant
+  model.core[2] = 0.2;   // (0,1)
+  model.core[3] = 1.0;   // (1,1)
+  return model;
+}
+
+TEST(DiscoverConceptsTest, SeparatesPlantedGroups) {
+  TuckerFactorization model = MakeModel();
+  auto concepts = DiscoverConcepts(model, 0, 2);
+  ASSERT_EQ(concepts.size(), 2u);
+  std::set<std::int64_t> cluster_a(concepts[0].members.begin(),
+                                   concepts[0].members.end());
+  std::set<std::int64_t> cluster_b(concepts[1].members.begin(),
+                                   concepts[1].members.end());
+  const std::set<std::int64_t> group1 = {0, 1, 2};
+  const std::set<std::int64_t> group2 = {3, 4, 5};
+  EXPECT_TRUE((cluster_a == group1 && cluster_b == group2) ||
+              (cluster_a == group2 && cluster_b == group1));
+}
+
+TEST(DiscoverConceptsTest, MembersCoverAllRows) {
+  TuckerFactorization model = MakeModel();
+  auto concepts = DiscoverConcepts(model, 0, 3);
+  std::set<std::int64_t> all;
+  for (const auto& c : concepts) {
+    all.insert(c.members.begin(), c.members.end());
+  }
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(DiscoverRelationsTest, OrderedByMagnitude) {
+  TuckerFactorization model = MakeModel();
+  auto relations = DiscoverRelations(model, 4);
+  ASSERT_EQ(relations.size(), 4u);
+  EXPECT_EQ(relations[0].strength, -5.0);
+  EXPECT_EQ(relations[0].core_index, (std::vector<std::int64_t>{1, 0}));
+  for (std::size_t i = 1; i < relations.size(); ++i) {
+    EXPECT_GE(std::fabs(relations[i - 1].strength),
+              std::fabs(relations[i].strength));
+  }
+}
+
+TEST(DiscoverRelationsTest, TopKClamped) {
+  TuckerFactorization model = MakeModel();
+  auto relations = DiscoverRelations(model, 100);
+  EXPECT_EQ(relations.size(), 4u);  // |G| = 4
+}
+
+TEST(TopEntitiesForRelationTest, ReturnsStrongestCoefficients) {
+  TuckerFactorization model = MakeModel();
+  auto relations = DiscoverRelations(model, 1);
+  ASSERT_EQ(relations.size(), 1u);
+  // Relation column for mode 1 is j=0; A1 column 0 has values (1,0,3,0):
+  // strongest rows are 2 then 0.
+  auto top = TopEntitiesForRelation(model, relations[0], 1, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2);
+  EXPECT_EQ(top[1], 0);
+}
+
+TEST(TopEntitiesForRelationTest, CountClamped) {
+  TuckerFactorization model = MakeModel();
+  auto relations = DiscoverRelations(model, 1);
+  auto top = TopEntitiesForRelation(model, relations[0], 0, 100);
+  EXPECT_EQ(top.size(), 6u);
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,117 @@
+#include "analytics/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+// Three well-separated Gaussian blobs in 2D.
+Matrix BlobData(std::int64_t per_cluster, std::vector<std::int64_t>* labels,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix data(3 * per_cluster, 2);
+  labels->clear();
+  for (int c = 0; c < 3; ++c) {
+    for (std::int64_t i = 0; i < per_cluster; ++i) {
+      const std::int64_t row = c * per_cluster + i;
+      data(row, 0) = centers[c][0] + rng.Normal(0.0, 0.5);
+      data(row, 1) = centers[c][1] + rng.Normal(0.0, 0.5);
+      labels->push_back(c);
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  std::vector<std::int64_t> labels;
+  Matrix data = BlobData(30, &labels, 1);
+  KMeansOptions options;
+  options.k = 3;
+  KMeansResult result = KMeansRows(data, options);
+  EXPECT_GE(ClusterPurity(result.assignments, labels), 0.99);
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  std::vector<std::int64_t> labels;
+  Matrix data = BlobData(10, &labels, 2);
+  KMeansOptions options;
+  options.k = 3;
+  KMeansResult result = KMeansRows(data, options);
+  ASSERT_EQ(result.assignments.size(), 30u);
+  for (std::int64_t a : result.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(KMeansTest, SingleCluster) {
+  std::vector<std::int64_t> labels;
+  Matrix data = BlobData(10, &labels, 3);
+  KMeansOptions options;
+  options.k = 1;
+  KMeansResult result = KMeansRows(data, options);
+  for (std::int64_t a : result.assignments) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  std::vector<std::int64_t> labels;
+  Matrix data = BlobData(2, &labels, 4);  // 6 points
+  KMeansOptions options;
+  options.k = 6;
+  KMeansResult result = KMeansRows(data, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+  // All six points in distinct clusters.
+  std::set<std::int64_t> used(result.assignments.begin(),
+                              result.assignments.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+TEST(KMeansTest, InertiaNotWorseThanRandomAssignment) {
+  std::vector<std::int64_t> labels;
+  Matrix data = BlobData(20, &labels, 5);
+  KMeansOptions options;
+  options.k = 3;
+  KMeansResult result = KMeansRows(data, options);
+  // Within-cluster variance with recovered blobs ~ 2·0.25·n; total
+  // variance is much larger.
+  double total_mean[2] = {0, 0};
+  for (std::int64_t i = 0; i < data.rows(); ++i) {
+    total_mean[0] += data(i, 0);
+    total_mean[1] += data(i, 1);
+  }
+  total_mean[0] /= static_cast<double>(data.rows());
+  total_mean[1] /= static_cast<double>(data.rows());
+  double total_ss = 0.0;
+  for (std::int64_t i = 0; i < data.rows(); ++i) {
+    const double dx = data(i, 0) - total_mean[0];
+    const double dy = data(i, 1) - total_mean[1];
+    total_ss += dx * dx + dy * dy;
+  }
+  EXPECT_LT(result.inertia, total_ss / 4.0);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  std::vector<std::int64_t> labels;
+  Matrix data = BlobData(15, &labels, 6);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 42;
+  KMeansResult a = KMeansRows(data, options);
+  KMeansResult b = KMeansRows(data, options);
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+TEST(ClusterPurityTest, PerfectAndChanceBounds) {
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 1, 1}, {5, 5, 7, 7}), 1.0);
+  // One mixed cluster: majority 2 of 3 plus a pure singleton = 3/4.
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 0, 1}, {5, 5, 7, 7}), 0.75);
+  EXPECT_DOUBLE_EQ(ClusterPurity({}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,90 @@
+#include "core/orthogonalize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reconstruction.h"
+#include "data/synthetic.h"
+#include "linalg/qr.h"
+#include "tensor/nmode.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+struct Ctx {
+  DenseTensor core;
+  std::vector<Matrix> factors;
+};
+
+Ctx MakeCtx(const std::vector<std::int64_t>& dims,
+                const std::vector<std::int64_t>& ranks, std::uint64_t seed) {
+  Rng rng(seed);
+  Ctx s;
+  s.core = DenseTensor(ranks);
+  s.core.FillUniform(rng);
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    Matrix factor(dims[k], ranks[k]);
+    factor.FillUniform(rng);
+    s.factors.push_back(std::move(factor));
+  }
+  return s;
+}
+
+TEST(OrthogonalizeTest, FactorsBecomeOrthonormal) {
+  Ctx s = MakeCtx({8, 7, 6}, {3, 2, 3}, 1);
+  OrthogonalizeFactors(&s.factors, &s.core);
+  for (const auto& factor : s.factors) {
+    EXPECT_LT(OrthonormalityDefect(factor), 1e-10);
+  }
+}
+
+TEST(OrthogonalizeTest, ReconstructionUnchangedDense) {
+  Ctx s = MakeCtx({5, 4, 6}, {2, 2, 2}, 2);
+  DenseTensor before = ReconstructDense(s.core, s.factors);
+  OrthogonalizeFactors(&s.factors, &s.core);
+  DenseTensor after = ReconstructDense(s.core, s.factors);
+  EXPECT_LT(MaxAbsDiff(before, after), 1e-10);
+}
+
+TEST(OrthogonalizeTest, ReconstructionErrorUnchangedOnObservedEntries) {
+  // The P-Tucker invariant: Algorithm 2 lines 8-11 keep Eq. 5 constant.
+  Rng rng(3);
+  SparseTensor x = UniformSparseTensor({6, 6, 6}, 40, rng);
+  Ctx s = MakeCtx({6, 6, 6}, {3, 2, 2}, 4);
+  const double before = ReconstructionError(x, s.core, s.factors);
+  OrthogonalizeFactors(&s.factors, &s.core);
+  const double after = ReconstructionError(x, s.core, s.factors);
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+TEST(OrthogonalizeTest, CoreShapePreserved) {
+  Ctx s = MakeCtx({9, 8}, {4, 3}, 5);
+  OrthogonalizeFactors(&s.factors, &s.core);
+  EXPECT_EQ(s.core.dims(), (std::vector<std::int64_t>{4, 3}));
+}
+
+TEST(OrthogonalizeTest, HigherOrder) {
+  Ctx s = MakeCtx({4, 5, 3, 4, 3}, {2, 2, 2, 2, 2}, 6);
+  DenseTensor before = ReconstructDense(s.core, s.factors);
+  OrthogonalizeFactors(&s.factors, &s.core);
+  DenseTensor after = ReconstructDense(s.core, s.factors);
+  EXPECT_LT(MaxAbsDiff(before, after), 1e-10);
+  for (const auto& factor : s.factors) {
+    EXPECT_LT(OrthonormalityDefect(factor), 1e-10);
+  }
+}
+
+TEST(OrthogonalizeTest, IdempotentOnOrthonormalFactors) {
+  Ctx s = MakeCtx({7, 6}, {3, 3}, 7);
+  OrthogonalizeFactors(&s.factors, &s.core);
+  std::vector<Matrix> factors_copy = s.factors;
+  DenseTensor core_copy = s.core;
+  OrthogonalizeFactors(&s.factors, &s.core);
+  for (std::size_t k = 0; k < s.factors.size(); ++k) {
+    EXPECT_TRUE(AllClose(s.factors[k], factors_copy[k], 1e-9));
+  }
+  EXPECT_LT(MaxAbsDiff(s.core, core_copy), 1e-9);
+}
+
+}  // namespace
+}  // namespace ptucker

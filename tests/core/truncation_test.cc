@@ -1,0 +1,133 @@
+#include "core/truncation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/reconstruction.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+struct Ctx {
+  SparseTensor x;
+  DenseTensor core;
+  CoreEntryList list;
+  std::vector<Matrix> factors;
+};
+
+Ctx MakeCtx(std::uint64_t seed) {
+  Rng rng(seed);
+  Ctx s;
+  s.x = UniformSparseTensor({6, 5, 4}, 50, rng);
+  s.core = DenseTensor({2, 2, 2});
+  s.core.FillUniform(rng);
+  s.list = CoreEntryList(s.core);
+  for (std::int64_t k = 0; k < 3; ++k) {
+    Matrix factor(s.x.dim(k), s.core.dim(k));
+    factor.FillUniform(rng);
+    s.factors.push_back(std::move(factor));
+  }
+  return s;
+}
+
+double SquaredError(const SparseTensor& x, const DenseTensor& core,
+                    const std::vector<Matrix>& factors) {
+  const double err = ReconstructionError(x, core, factors);
+  return err * err;
+}
+
+TEST(PartialErrorsTest, MatchEq13BruteForce) {
+  // R(β) must equal err²(with β) − err²(without β) computed by actually
+  // deleting the entry — the definition behind Eq. 13.
+  Ctx s = MakeCtx(1);
+  const auto partial = ComputePartialErrors(s.x, s.list, s.factors);
+  ASSERT_EQ(static_cast<std::int64_t>(partial.size()), s.list.size());
+
+  const double with_all = SquaredError(s.x, s.core, s.factors);
+  std::vector<std::int64_t> beta(3);
+  for (std::int64_t b = 0; b < s.list.size(); ++b) {
+    DenseTensor without = s.core;
+    for (int k = 0; k < 3; ++k) {
+      beta[static_cast<std::size_t>(k)] = s.list.index(b)[k];
+    }
+    without.at(beta.data()) = 0.0;
+    const double err_without = SquaredError(s.x, without, s.factors);
+    EXPECT_NEAR(partial[static_cast<std::size_t>(b)],
+                with_all - err_without, 1e-8)
+        << "core entry " << b;
+  }
+}
+
+TEST(TruncationTest, RemovesRequestedFraction) {
+  Ctx s = MakeCtx(2);
+  ASSERT_EQ(s.list.size(), 8);
+  const std::int64_t removed =
+      TruncateNoisyEntries(s.x, &s.core, &s.list, s.factors, 0.25);
+  EXPECT_EQ(removed, 2);
+  EXPECT_EQ(s.list.size(), 6);
+  EXPECT_EQ(s.core.CountNonZeros(), 6);
+}
+
+TEST(TruncationTest, ZeroRateIsNoop) {
+  Ctx s = MakeCtx(3);
+  EXPECT_EQ(TruncateNoisyEntries(s.x, &s.core, &s.list, s.factors, 0.0), 0);
+  EXPECT_EQ(s.list.size(), 8);
+}
+
+TEST(TruncationTest, NeverEmptiesCore) {
+  Ctx s = MakeCtx(4);
+  for (int round = 0; round < 50; ++round) {
+    TruncateNoisyEntries(s.x, &s.core, &s.list, s.factors, 0.9);
+  }
+  EXPECT_GE(s.list.size(), 1);
+}
+
+TEST(TruncationTest, RemovesTheNoisiestEntries) {
+  Ctx s = MakeCtx(5);
+  const auto partial = ComputePartialErrors(s.x, s.list, s.factors);
+  // Find the two largest R(β).
+  std::vector<double> sorted = partial;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  const double cutoff = sorted[1];
+
+  std::vector<std::vector<std::int32_t>> expected_removed;
+  for (std::int64_t b = 0; b < s.list.size(); ++b) {
+    if (partial[static_cast<std::size_t>(b)] >= cutoff) {
+      expected_removed.push_back(
+          {s.list.index(b)[0], s.list.index(b)[1], s.list.index(b)[2]});
+    }
+  }
+  TruncateNoisyEntries(s.x, &s.core, &s.list, s.factors, 0.25);
+  // The removed entries' core positions must now be zero.
+  std::vector<std::int64_t> beta(3);
+  for (const auto& idx : expected_removed) {
+    for (int k = 0; k < 3; ++k) beta[static_cast<std::size_t>(k)] = idx[k];
+    EXPECT_EQ(s.core.at(beta.data()), 0.0);
+  }
+}
+
+TEST(TruncationTest, RemovingPositiveRBetaReducesError) {
+  // By definition R(β) > 0 means the fit improves without β; removing all
+  // positive-R entries must therefore not increase the error.
+  Ctx s = MakeCtx(6);
+  const auto partial = ComputePartialErrors(s.x, s.list, s.factors);
+  double positive_fraction = 0.0;
+  for (double r : partial) positive_fraction += (r > 0.0) ? 1.0 : 0.0;
+  positive_fraction /= static_cast<double>(partial.size());
+  if (positive_fraction == 0.0) GTEST_SKIP() << "no noisy entries drawn";
+
+  const double before = ReconstructionError(s.x, s.core, s.factors);
+  // Remove exactly the largest-R entry (rate chosen to drop 1 of 8).
+  TruncateNoisyEntries(s.x, &s.core, &s.list, s.factors, 0.125);
+  const double after = ReconstructionError(s.x, s.core, s.factors);
+  const double max_r = *std::max_element(partial.begin(), partial.end());
+  if (max_r > 0.0) {
+    EXPECT_LE(after, before + 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace ptucker

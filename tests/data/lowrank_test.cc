@@ -1,0 +1,68 @@
+#include "data/lowrank.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/nmode.h"
+
+namespace ptucker {
+namespace {
+
+TEST(RandomTuckerModelTest, Shapes) {
+  Rng rng(1);
+  PlantedTucker model = RandomTuckerModel({10, 20, 30}, {2, 3, 4}, rng);
+  EXPECT_EQ(model.core.dims(), (std::vector<std::int64_t>{2, 3, 4}));
+  ASSERT_EQ(model.factors.size(), 3u);
+  EXPECT_EQ(model.factors[0].rows(), 10);
+  EXPECT_EQ(model.factors[0].cols(), 2);
+  EXPECT_EQ(model.factors[2].rows(), 30);
+  EXPECT_EQ(model.factors[2].cols(), 4);
+}
+
+TEST(SampleFromModelTest, NoiselessSamplesMatchModel) {
+  Rng rng(2);
+  PlantedTucker model = RandomTuckerModel({8, 8, 8}, {2, 2, 2}, rng);
+  SparseTensor x = SampleFromModel(model, 100, 0.0, rng);
+  for (std::int64_t e = 0; e < x.nnz(); ++e) {
+    const double expected = std::clamp(
+        ReconstructEntry(model.core, model.factors, x.index(e)), 0.0, 1.0);
+    EXPECT_NEAR(x.value(e), expected, 1e-12);
+  }
+}
+
+TEST(SampleFromModelTest, ValuesClampedToUnitInterval) {
+  Rng rng(3);
+  PlantedTucker model = RandomTuckerModel({6, 6}, {2, 2}, rng);
+  SparseTensor x = SampleFromModel(model, 30, 10.0, rng);  // huge noise
+  for (std::int64_t e = 0; e < x.nnz(); ++e) {
+    EXPECT_GE(x.value(e), 0.0);
+    EXPECT_LE(x.value(e), 1.0);
+  }
+}
+
+TEST(SampleFromModelTest, DistinctCoordinatesAndModeIndex) {
+  Rng rng(4);
+  PlantedTucker model = RandomTuckerModel({5, 5, 5}, {2, 2, 2}, rng);
+  SparseTensor x = SampleFromModel(model, 125, 0.01, rng);  // fully dense
+  EXPECT_EQ(x.nnz(), 125);
+  EXPECT_TRUE(x.has_mode_index());
+}
+
+TEST(SampleFromModelTest, NoiseShiftsValues) {
+  Rng rng_a(5);
+  PlantedTucker model = RandomTuckerModel({8, 8}, {2, 2}, rng_a);
+  Rng rng_clean(6), rng_noisy(6);
+  SparseTensor clean = SampleFromModel(model, 40, 0.0, rng_clean);
+  SparseTensor noisy = SampleFromModel(model, 40, 0.2, rng_noisy);
+  // Same coordinates (same rng stream) but different values.
+  double max_diff = 0.0;
+  for (std::int64_t e = 0; e < clean.nnz(); ++e) {
+    max_diff = std::max(max_diff,
+                        std::fabs(clean.value(e) - noisy.value(e)));
+  }
+  EXPECT_GT(max_diff, 1e-4);
+}
+
+}  // namespace
+}  // namespace ptucker

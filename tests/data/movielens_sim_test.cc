@@ -1,0 +1,101 @@
+#include "data/movielens_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace ptucker {
+namespace {
+
+MovieLensConfig SmallConfig() {
+  MovieLensConfig config;
+  config.num_users = 80;
+  config.num_movies = 40;
+  config.num_years = 5;
+  config.num_hours = 24;
+  config.num_genres = 3;
+  config.nnz = 3000;
+  return config;
+}
+
+TEST(MovieLensSimTest, TensorShape) {
+  MovieLensData data = SimulateMovieLens(SmallConfig());
+  EXPECT_EQ(data.tensor.order(), 4);
+  EXPECT_EQ(data.tensor.dim(0), 80);
+  EXPECT_EQ(data.tensor.dim(1), 40);
+  EXPECT_EQ(data.tensor.dim(2), 5);
+  EXPECT_EQ(data.tensor.dim(3), 24);
+  EXPECT_EQ(data.tensor.nnz(), 3000);
+  EXPECT_TRUE(data.tensor.has_mode_index());
+}
+
+TEST(MovieLensSimTest, GroundTruthSizes) {
+  MovieLensData data = SimulateMovieLens(SmallConfig());
+  EXPECT_EQ(data.movie_genre.size(), 40u);
+  EXPECT_EQ(data.user_genre.size(), 80u);
+  EXPECT_EQ(data.genre_hour_boost.size(), 3u * 24u);
+  for (std::int64_t genre : data.movie_genre) {
+    EXPECT_GE(genre, 0);
+    EXPECT_LT(genre, 3);
+  }
+}
+
+TEST(MovieLensSimTest, RatingsNormalized) {
+  MovieLensData data = SimulateMovieLens(SmallConfig());
+  for (std::int64_t e = 0; e < data.tensor.nnz(); ++e) {
+    EXPECT_GE(data.tensor.value(e), 0.0);
+    EXPECT_LE(data.tensor.value(e), 1.0);
+  }
+}
+
+TEST(MovieLensSimTest, GenreMatchRaisesRatings) {
+  MovieLensData data = SimulateMovieLens(SmallConfig());
+  double matched_sum = 0.0, unmatched_sum = 0.0;
+  std::int64_t matched_count = 0, unmatched_count = 0;
+  for (std::int64_t e = 0; e < data.tensor.nnz(); ++e) {
+    const std::int64_t user = data.tensor.index(e, 0);
+    const std::int64_t movie = data.tensor.index(e, 1);
+    const bool match =
+        data.user_genre[static_cast<std::size_t>(user)] ==
+        data.movie_genre[static_cast<std::size_t>(movie)];
+    if (match) {
+      matched_sum += data.tensor.value(e);
+      ++matched_count;
+    } else {
+      unmatched_sum += data.tensor.value(e);
+      ++unmatched_count;
+    }
+  }
+  ASSERT_GT(matched_count, 0);
+  ASSERT_GT(unmatched_count, 0);
+  EXPECT_GT(matched_sum / matched_count, unmatched_sum / unmatched_count);
+}
+
+TEST(MovieLensSimTest, PopularitySkewed) {
+  MovieLensData data = SimulateMovieLens(SmallConfig());
+  // The most popular decile of users should hold well over a decile of
+  // the ratings under Zipf(1.1).
+  std::int64_t top = 0;
+  for (std::int64_t u = 0; u < 8; ++u) {
+    top += data.tensor.SliceSize(0, u);
+  }
+  EXPECT_GT(top, data.tensor.nnz() / 5);
+}
+
+TEST(MovieLensSimTest, SeedReproducibility) {
+  MovieLensConfig config = SmallConfig();
+  MovieLensData a = SimulateMovieLens(config);
+  MovieLensData b = SimulateMovieLens(config);
+  ASSERT_EQ(a.tensor.nnz(), b.tensor.nnz());
+  for (std::int64_t e = 0; e < a.tensor.nnz(); ++e) {
+    EXPECT_EQ(a.tensor.value(e), b.tensor.value(e));
+  }
+  config.seed = 99;
+  MovieLensData c = SimulateMovieLens(config);
+  bool any_diff = false;
+  for (std::int64_t e = 0; e < a.tensor.nnz() && !any_diff; ++e) {
+    any_diff = a.tensor.value(e) != c.tensor.value(e);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace ptucker

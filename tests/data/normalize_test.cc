@@ -1,0 +1,68 @@
+#include "data/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+TEST(NormalizeTest, MapsToUnitInterval) {
+  SparseTensor t({3, 3});
+  t.AddEntry({0, 0}, -4.0);
+  t.AddEntry({1, 1}, 6.0);
+  t.AddEntry({2, 2}, 1.0);
+  NormalizationParams params = NormalizeValues(&t);
+  EXPECT_EQ(params.min_value, -4.0);
+  EXPECT_EQ(params.max_value, 6.0);
+  EXPECT_DOUBLE_EQ(t.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.value(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.value(2), 0.5);
+}
+
+TEST(NormalizeTest, InverseRecoversOriginal) {
+  Rng rng(1);
+  SparseTensor t({10, 10});
+  std::vector<double> originals;
+  for (int e = 0; e < 30; ++e) {
+    const double value = rng.Uniform(-100.0, 250.0);
+    originals.push_back(value);
+    std::int64_t index[2] = {static_cast<std::int64_t>(rng.UniformInt(10)),
+                             static_cast<std::int64_t>(rng.UniformInt(10))};
+    t.AddEntry(index, value);
+  }
+  NormalizationParams params = NormalizeValues(&t);
+  for (std::int64_t e = 0; e < t.nnz(); ++e) {
+    EXPECT_NEAR(params.Inverse(t.value(e)),
+                originals[static_cast<std::size_t>(e)], 1e-10);
+    EXPECT_GE(t.value(e), 0.0);
+    EXPECT_LE(t.value(e), 1.0);
+  }
+}
+
+TEST(NormalizeTest, ConstantTensorMapsToMidpoint) {
+  SparseTensor t({4, 4});
+  t.AddEntry({0, 0}, 7.0);
+  t.AddEntry({1, 2}, 7.0);
+  NormalizationParams params = NormalizeValues(&t);
+  EXPECT_DOUBLE_EQ(t.value(0), 0.5);
+  EXPECT_DOUBLE_EQ(params.Inverse(t.value(0)), 7.0);
+}
+
+TEST(NormalizeTest, EmptyTensorIsNoop) {
+  SparseTensor t({4, 4});
+  EXPECT_NO_THROW(NormalizeValues(&t));
+}
+
+TEST(NormalizeTest, AlreadyNormalizedIsStable) {
+  SparseTensor t({3, 3});
+  t.AddEntry({0, 0}, 0.0);
+  t.AddEntry({1, 1}, 1.0);
+  t.AddEntry({2, 2}, 0.25);
+  NormalizeValues(&t);
+  EXPECT_DOUBLE_EQ(t.value(2), 0.25);
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,78 @@
+#include "data/split.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "tensor/index.h"
+
+namespace ptucker {
+namespace {
+
+TEST(SplitTest, NinetyTenCounts) {
+  Rng rng(1);
+  SparseTensor t = UniformSparseTensor({30, 30, 30}, 1000, rng);
+  auto split = SplitObservedEntries(t, 0.1, rng);
+  EXPECT_EQ(split.test.nnz(), 100);
+  EXPECT_EQ(split.train.nnz(), 900);
+}
+
+TEST(SplitTest, PartitionIsExactAndDisjoint) {
+  Rng rng(2);
+  SparseTensor t = UniformSparseTensor({20, 20}, 200, rng);
+  auto split = SplitObservedEntries(t, 0.25, rng);
+  const auto strides = ComputeStrides(t.dims());
+  std::set<std::int64_t> train_keys, test_keys, all_keys;
+  for (std::int64_t e = 0; e < split.train.nnz(); ++e) {
+    train_keys.insert(Linearize(split.train.index(e), strides, 2));
+  }
+  for (std::int64_t e = 0; e < split.test.nnz(); ++e) {
+    test_keys.insert(Linearize(split.test.index(e), strides, 2));
+  }
+  for (std::int64_t e = 0; e < t.nnz(); ++e) {
+    all_keys.insert(Linearize(t.index(e), strides, 2));
+  }
+  // Disjoint.
+  for (std::int64_t key : test_keys) {
+    EXPECT_EQ(train_keys.count(key), 0u);
+  }
+  // Union covers everything.
+  EXPECT_EQ(train_keys.size() + test_keys.size(), all_keys.size());
+}
+
+TEST(SplitTest, DimsPreservedAndIndexBuilt) {
+  Rng rng(3);
+  SparseTensor t = UniformSparseTensor({5, 6, 7}, 100, rng);
+  auto split = SplitObservedEntries(t, 0.1, rng);
+  EXPECT_EQ(split.train.dims(), t.dims());
+  EXPECT_EQ(split.test.dims(), t.dims());
+  EXPECT_TRUE(split.train.has_mode_index());
+  EXPECT_TRUE(split.test.has_mode_index());
+}
+
+TEST(SplitTest, ZeroFractionPutsEverythingInTrain) {
+  Rng rng(4);
+  SparseTensor t = UniformSparseTensor({10, 10}, 50, rng);
+  auto split = SplitObservedEntries(t, 0.0, rng);
+  EXPECT_EQ(split.train.nnz(), 50);
+  EXPECT_EQ(split.test.nnz(), 0);
+}
+
+TEST(SplitTest, ValuesCarriedOver) {
+  Rng rng(5);
+  SparseTensor t = UniformSparseTensor({10, 10}, 40, rng);
+  auto split = SplitObservedEntries(t, 0.5, rng);
+  double original_sum = 0.0, split_sum = 0.0;
+  for (std::int64_t e = 0; e < t.nnz(); ++e) original_sum += t.value(e);
+  for (std::int64_t e = 0; e < split.train.nnz(); ++e) {
+    split_sum += split.train.value(e);
+  }
+  for (std::int64_t e = 0; e < split.test.nnz(); ++e) {
+    split_sum += split.test.value(e);
+  }
+  EXPECT_NEAR(original_sum, split_sum, 1e-10);
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,86 @@
+#include "data/synthetic.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tensor/index.h"
+
+namespace ptucker {
+namespace {
+
+TEST(UniformSparseTensorTest, RequestedShapeAndCount) {
+  Rng rng(1);
+  SparseTensor t = UniformSparseTensor({20, 30, 10}, 500, rng);
+  EXPECT_EQ(t.dims(), (std::vector<std::int64_t>{20, 30, 10}));
+  EXPECT_EQ(t.nnz(), 500);
+  EXPECT_TRUE(t.has_mode_index());
+}
+
+TEST(UniformSparseTensorTest, CoordinatesDistinct) {
+  Rng rng(2);
+  SparseTensor t = UniformSparseTensor({8, 8, 8}, 300, rng);
+  const auto strides = ComputeStrides(t.dims());
+  std::set<std::int64_t> seen;
+  for (std::int64_t e = 0; e < t.nnz(); ++e) {
+    seen.insert(Linearize(t.index(e), strides, 3));
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), t.nnz());
+}
+
+TEST(UniformSparseTensorTest, ValuesInUnitInterval) {
+  Rng rng(3);
+  SparseTensor t = UniformSparseTensor({10, 10}, 90, rng);
+  for (std::int64_t e = 0; e < t.nnz(); ++e) {
+    EXPECT_GE(t.value(e), 0.0);
+    EXPECT_LT(t.value(e), 1.0);
+  }
+}
+
+TEST(UniformSparseTensorTest, FullyDenseRequest) {
+  // nnz == ΠIn exercises the dedup saturation path.
+  Rng rng(4);
+  SparseTensor t = UniformSparseTensor({4, 4}, 16, rng);
+  EXPECT_EQ(t.nnz(), 16);
+}
+
+TEST(UniformSparseTensorTest, Deterministic) {
+  Rng rng_a(5), rng_b(5);
+  SparseTensor a = UniformSparseTensor({10, 10, 10}, 100, rng_a);
+  SparseTensor b = UniformSparseTensor({10, 10, 10}, 100, rng_b);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::int64_t e = 0; e < a.nnz(); ++e) {
+    EXPECT_EQ(a.value(e), b.value(e));
+    for (int k = 0; k < 3; ++k) EXPECT_EQ(a.index(e, k), b.index(e, k));
+  }
+}
+
+TEST(UniformCubicTensorTest, CubicDims) {
+  Rng rng(6);
+  SparseTensor t = UniformCubicTensor(5, 7, 50, rng);
+  EXPECT_EQ(t.order(), 5);
+  for (std::int64_t n = 0; n < 5; ++n) EXPECT_EQ(t.dim(n), 7);
+}
+
+TEST(SkewedSparseTensorTest, SkewConcentratesMass) {
+  Rng rng(7);
+  const std::int64_t dim = 100;
+  SparseTensor t = SkewedSparseTensor({dim, dim}, 2000, 1.2, rng);
+  // The top-10 most popular mode-0 slices must hold far more than 10% of
+  // the entries under Zipf(1.2).
+  std::int64_t top = 0;
+  for (std::int64_t i = 0; i < 10; ++i) top += t.SliceSize(0, i);
+  EXPECT_GT(top, t.nnz() / 4);
+}
+
+TEST(SkewedSparseTensorTest, ZeroSkewIsRoughlyUniform) {
+  Rng rng(8);
+  SparseTensor t = SkewedSparseTensor({50, 50}, 1000, 0.0, rng);
+  std::int64_t top = 0;
+  for (std::int64_t i = 0; i < 5; ++i) top += t.SliceSize(0, i);
+  // 5/50 slices should hold about 10% of entries.
+  EXPECT_LT(top, t.nnz() / 4);
+}
+
+}  // namespace
+}  // namespace ptucker

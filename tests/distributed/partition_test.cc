@@ -1,0 +1,101 @@
+#include "distributed/partition.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+SparseTensor SkewedTensor(std::uint64_t seed) {
+  Rng rng(seed);
+  return SkewedSparseTensor({200, 150, 100}, 5000, 1.2, rng);
+}
+
+void ExpectValidPartition(const RowPartition& partition, std::int64_t rows) {
+  std::set<std::int64_t> seen;
+  for (const auto& owned : partition.rows_per_worker) {
+    for (const std::int64_t row : owned) {
+      EXPECT_TRUE(seen.insert(row).second) << "row " << row << " duplicated";
+      EXPECT_GE(row, 0);
+      EXPECT_LT(row, rows);
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), rows);
+}
+
+TEST(PartitionTest, BlockCoversAllRowsDisjointly) {
+  SparseTensor x = SkewedTensor(1);
+  for (const std::int64_t workers : {1, 2, 3, 7}) {
+    RowPartition partition = PartitionRowsBlock(x, 0, workers);
+    ASSERT_EQ(partition.num_workers(), workers);
+    ExpectValidPartition(partition, x.dim(0));
+  }
+}
+
+TEST(PartitionTest, GreedyCoversAllRowsDisjointly) {
+  SparseTensor x = SkewedTensor(2);
+  for (const std::int64_t workers : {1, 2, 4, 9}) {
+    RowPartition partition = PartitionRowsGreedy(x, 1, workers);
+    ASSERT_EQ(partition.num_workers(), workers);
+    ExpectValidPartition(partition, x.dim(1));
+  }
+}
+
+TEST(PartitionTest, SingleWorkerOwnsEverything) {
+  SparseTensor x = SkewedTensor(3);
+  RowPartition partition = PartitionRowsGreedy(x, 0, 1);
+  EXPECT_EQ(static_cast<std::int64_t>(partition.rows_per_worker[0].size()),
+            x.dim(0));
+  EXPECT_DOUBLE_EQ(LoadImbalance(x, 0, partition), 1.0);
+}
+
+TEST(PartitionTest, MoreWorkersThanRows) {
+  SparseTensor x({3, 3});
+  x.AddEntry({0, 0}, 1.0);
+  x.AddEntry({1, 1}, 1.0);
+  x.AddEntry({2, 2}, 1.0);
+  x.BuildModeIndex();
+  RowPartition partition = PartitionRowsGreedy(x, 0, 8);
+  ExpectValidPartition(partition, 3);
+}
+
+TEST(PartitionTest, GreedyBeatsBlockOnSkewedData) {
+  // The point of workload-aware partitioning (§III-D's distributed
+  // analog): lower imbalance than contiguous blocks under Zipf skew.
+  SparseTensor x = SkewedTensor(4);
+  for (const std::int64_t workers : {2, 4, 8}) {
+    const double block =
+        LoadImbalance(x, 0, PartitionRowsBlock(x, 0, workers));
+    const double greedy =
+        LoadImbalance(x, 0, PartitionRowsGreedy(x, 0, workers));
+    EXPECT_LE(greedy, block + 1e-12) << "workers " << workers;
+    EXPECT_GE(greedy, 1.0 - 1e-12);
+  }
+}
+
+TEST(PartitionTest, GreedyNearBalancedOnUniformData) {
+  Rng rng(5);
+  SparseTensor x = UniformSparseTensor({100, 100, 100}, 4000, rng);
+  const double imbalance =
+      LoadImbalance(x, 0, PartitionRowsGreedy(x, 0, 4));
+  EXPECT_LT(imbalance, 1.05);
+}
+
+TEST(PartitionTest, RowUpdateCostTracksSliceSize) {
+  SparseTensor x({4, 4});
+  x.AddEntry({1, 0}, 1.0);
+  x.AddEntry({1, 1}, 1.0);
+  x.AddEntry({1, 2}, 1.0);
+  x.AddEntry({3, 0}, 1.0);
+  x.BuildModeIndex();
+  EXPECT_EQ(RowUpdateCost(x, 0, 0), 1);  // empty slice: the +1 floor
+  EXPECT_EQ(RowUpdateCost(x, 0, 1), 4);
+  EXPECT_EQ(RowUpdateCost(x, 0, 3), 2);
+}
+
+}  // namespace
+}  // namespace ptucker

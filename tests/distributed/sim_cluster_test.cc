@@ -1,0 +1,123 @@
+#include "distributed/sim_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+SparseTensor TestTensor(std::uint64_t seed) {
+  Rng rng(seed);
+  return SkewedSparseTensor({40, 30, 20}, 1500, 1.0, rng);
+}
+
+PTuckerOptions TestOptions() {
+  PTuckerOptions options;
+  options.core_dims = {3, 3, 3};
+  options.max_iterations = 5;
+  return options;
+}
+
+TEST(SimClusterTest, RejectsUnsupportedConfigs) {
+  SparseTensor x = TestTensor(1);
+  PTuckerOptions options = TestOptions();
+  EXPECT_THROW(
+      SimulateDistributedPTucker(x, options, 0, PartitionStrategy::kGreedy),
+      std::invalid_argument);
+  options.variant = PTuckerVariant::kCache;
+  EXPECT_THROW(
+      SimulateDistributedPTucker(x, options, 2, PartitionStrategy::kGreedy),
+      std::invalid_argument);
+  options = TestOptions();
+  options.update_core = true;
+  EXPECT_THROW(
+      SimulateDistributedPTucker(x, options, 2, PartitionStrategy::kGreedy),
+      std::invalid_argument);
+}
+
+TEST(SimClusterTest, MatchesSharedMemorySolverExactly) {
+  // Row independence (§III-B) means partitioning cannot change the math:
+  // the simulated cluster must reproduce PTuckerDecompose's output.
+  SparseTensor x = TestTensor(2);
+  PTuckerOptions options = TestOptions();
+  PTuckerResult shared = PTuckerDecompose(x, options);
+  for (const std::int64_t workers : {1, 3, 8}) {
+    DistributedPTuckerResult distributed = SimulateDistributedPTucker(
+        x, options, workers, PartitionStrategy::kGreedy);
+    EXPECT_NEAR(distributed.result.final_error, shared.final_error, 1e-10)
+        << "workers " << workers;
+    for (std::size_t k = 0; k < shared.model.factors.size(); ++k) {
+      EXPECT_TRUE(AllClose(distributed.result.model.factors[k],
+                           shared.model.factors[k], 1e-9));
+    }
+  }
+}
+
+TEST(SimClusterTest, StrategyDoesNotChangeResults) {
+  SparseTensor x = TestTensor(3);
+  PTuckerOptions options = TestOptions();
+  DistributedPTuckerResult block = SimulateDistributedPTucker(
+      x, options, 4, PartitionStrategy::kBlock);
+  DistributedPTuckerResult greedy = SimulateDistributedPTucker(
+      x, options, 4, PartitionStrategy::kGreedy);
+  EXPECT_NEAR(block.result.final_error, greedy.result.final_error, 1e-10);
+}
+
+TEST(SimClusterTest, CommunicationVolumeMatchesRingModel) {
+  SparseTensor x = TestTensor(4);
+  PTuckerOptions options = TestOptions();
+  options.max_iterations = 3;
+  options.tolerance = 0.0;  // run exactly 3 iterations
+  const std::int64_t workers = 4;
+  DistributedPTuckerResult outcome = SimulateDistributedPTucker(
+      x, options, workers, PartitionStrategy::kGreedy);
+  // Per iteration: Σ_n (W-1)·In·Jn·8 bytes.
+  std::int64_t per_iteration = 0;
+  for (std::int64_t n = 0; n < x.order(); ++n) {
+    per_iteration += (workers - 1) * x.dim(n) * 3 * 8;
+  }
+  EXPECT_EQ(outcome.stats.total_comm_bytes, 3 * per_iteration);
+  EXPECT_EQ(outcome.stats.iterations_run, 3);
+}
+
+TEST(SimClusterTest, SingleWorkerHasNoCommunication) {
+  SparseTensor x = TestTensor(5);
+  DistributedPTuckerResult outcome = SimulateDistributedPTucker(
+      x, TestOptions(), 1, PartitionStrategy::kBlock);
+  EXPECT_EQ(outcome.stats.total_comm_bytes, 0);
+}
+
+TEST(SimClusterTest, GreedyEfficiencyBeatsBlockOnSkew) {
+  SparseTensor x = TestTensor(6);
+  PTuckerOptions options = TestOptions();
+  options.max_iterations = 2;
+  options.tolerance = 0.0;
+  DistributedPTuckerResult block = SimulateDistributedPTucker(
+      x, options, 4, PartitionStrategy::kBlock);
+  DistributedPTuckerResult greedy = SimulateDistributedPTucker(
+      x, options, 4, PartitionStrategy::kGreedy);
+  EXPECT_GE(greedy.stats.Efficiency(0), block.stats.Efficiency(0) - 1e-12);
+}
+
+TEST(SimClusterTest, MakespanShrinksWithWorkers) {
+  SparseTensor x = TestTensor(7);
+  PTuckerOptions options = TestOptions();
+  options.max_iterations = 1;
+  options.tolerance = 0.0;
+  std::int64_t previous =
+      SimulateDistributedPTucker(x, options, 1, PartitionStrategy::kGreedy)
+          .stats.makespan_per_iteration[0];
+  for (const std::int64_t workers : {2, 4, 8}) {
+    const std::int64_t makespan =
+        SimulateDistributedPTucker(x, options, workers,
+                                   PartitionStrategy::kGreedy)
+            .stats.makespan_per_iteration[0];
+    EXPECT_LE(makespan, previous);
+    previous = makespan;
+  }
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,124 @@
+// End-to-end flows across modules: data generation -> split -> solve ->
+// predict/discover -> serialize, the way a downstream user runs the
+// library.
+#include <cstdio>
+#include <cmath>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "analytics/discovery.h"
+#include "core/ptucker.h"
+#include "core/reconstruction.h"
+#include "data/movielens_sim.h"
+#include "data/split.h"
+#include "tensor/io.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+TEST(EndToEndTest, MovieLensPipelineBeatsZeroPredictor) {
+  MovieLensConfig config;
+  config.num_users = 120;
+  config.num_movies = 60;
+  config.num_years = 6;
+  config.num_hours = 24;
+  config.nnz = 6000;
+  MovieLensData data = SimulateMovieLens(config);
+
+  Rng rng(1);
+  auto split = SplitObservedEntries(data.tensor, 0.1, rng);
+
+  PTuckerOptions options;
+  options.core_dims = {4, 4, 3, 4};
+  options.max_iterations = 10;
+  PTuckerResult result = PTuckerDecompose(split.train, options);
+
+  const double rmse =
+      TestRmse(split.test, result.model.core, result.model.factors);
+  double zero_sq = 0.0, mean = 0.0;
+  for (std::int64_t e = 0; e < split.test.nnz(); ++e) {
+    zero_sq += split.test.value(e) * split.test.value(e);
+    mean += split.test.value(e);
+  }
+  const double zero_rmse =
+      std::sqrt(zero_sq / static_cast<double>(split.test.nnz()));
+  EXPECT_LT(rmse, zero_rmse * 0.75);
+}
+
+TEST(EndToEndTest, DiscoveryOnFittedModelRecoversGenres) {
+  MovieLensConfig config;
+  config.num_users = 150;
+  config.num_movies = 60;
+  config.num_years = 5;
+  config.num_hours = 12;
+  config.num_genres = 3;
+  config.nnz = 8000;
+  config.noise_stddev = 0.02;
+  MovieLensData data = SimulateMovieLens(config);
+
+  PTuckerOptions options;
+  options.core_dims = {4, 4, 3, 3};
+  options.max_iterations = 12;
+  PTuckerResult result = PTuckerDecompose(data.tensor, options);
+
+  // Table V: clustering the movie factor must align with planted genres
+  // far above the 1/3 chance level.
+  auto concepts = DiscoverConcepts(result.model, /*mode=*/1, /*k=*/3);
+  std::vector<std::int64_t> assignments(60, -1);
+  for (const auto& c : concepts) {
+    for (std::int64_t member : c.members) {
+      assignments[static_cast<std::size_t>(member)] = c.cluster_id;
+    }
+  }
+  const double purity = ClusterPurity(assignments, data.movie_genre);
+  EXPECT_GT(purity, 0.55);
+}
+
+TEST(EndToEndTest, RelationsExtractedFromFittedCore) {
+  MovieLensConfig config;
+  config.num_users = 80;
+  config.num_movies = 40;
+  config.nnz = 4000;
+  MovieLensData data = SimulateMovieLens(config);
+  PTuckerOptions options;
+  options.core_dims = {3, 3, 3, 3};
+  options.max_iterations = 8;
+  PTuckerResult result = PTuckerDecompose(data.tensor, options);
+
+  auto relations = DiscoverRelations(result.model, 3);
+  ASSERT_EQ(relations.size(), 3u);
+  for (const auto& relation : relations) {
+    EXPECT_NE(relation.strength, 0.0);
+    auto hours = TopEntitiesForRelation(result.model, relation, 3, 5);
+    EXPECT_EQ(hours.size(), 5u);
+  }
+}
+
+TEST(EndToEndTest, SerializeFitReload) {
+  // Write a tensor to .tns, read it back, decompose, and check the
+  // factorization matches the in-memory one (same seed).
+  MovieLensConfig config;
+  config.num_users = 40;
+  config.num_movies = 20;
+  config.nnz = 1500;
+  MovieLensData data = SimulateMovieLens(config);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "e2e_roundtrip.tns").string();
+  WriteTns(path, data.tensor);
+  SparseTensor loaded = ReadTns(path, data.tensor.dims());
+  loaded.BuildModeIndex();
+  std::remove(path.c_str());
+
+  PTuckerOptions options;
+  options.core_dims = {3, 3, 3, 3};
+  options.max_iterations = 5;
+  PTuckerResult from_memory = PTuckerDecompose(data.tensor, options);
+  PTuckerResult from_disk = PTuckerDecompose(loaded, options);
+  EXPECT_NEAR(from_memory.final_error, from_disk.final_error, 1e-6);
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,125 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+// A(i,j) = Bᵀ B + lambda I: SPD by construction, the exact structure of
+// P-Tucker's Eq. 9 system.
+Matrix RandomSpd(std::int64_t n, double lambda, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix b(n + 2, n);
+  b.FillUniform(rng);
+  Matrix a = MatTMul(b, b);
+  for (std::int64_t i = 0; i < n; ++i) a(i, i) += lambda;
+  return a;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Matrix a = RandomSpd(5, 0.1, 1);
+  Matrix lower;
+  ASSERT_TRUE(CholeskyFactor(a, &lower));
+  Matrix reconstructed = MatMulT(lower, lower);
+  EXPECT_TRUE(AllClose(a, reconstructed, 1e-10));
+}
+
+TEST(CholeskyTest, FactorIsLowerTriangular) {
+  Matrix a = RandomSpd(4, 0.5, 2);
+  Matrix lower;
+  ASSERT_TRUE(CholeskyFactor(a, &lower));
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = i + 1; j < 4; ++j) EXPECT_EQ(lower(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, SolveMatchesResidual) {
+  Matrix a = RandomSpd(6, 0.01, 3);
+  Rng rng(4);
+  std::vector<double> b(6), x(6), ax(6);
+  for (auto& v : b) v = rng.Normal();
+  ASSERT_TRUE(CholeskySolve(a, b.data(), x.data()));
+  MatVec(a, x.data(), ax.data());
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  Matrix lower;
+  EXPECT_FALSE(CholeskyFactor(a, &lower));
+}
+
+TEST(CholeskyTest, RejectsZeroMatrix) {
+  Matrix a(3, 3);
+  Matrix lower;
+  EXPECT_FALSE(CholeskyFactor(a, &lower));
+}
+
+TEST(CholeskyTest, InverseTimesOriginalIsIdentity) {
+  Matrix a = RandomSpd(5, 0.2, 5);
+  Matrix inverse;
+  ASSERT_TRUE(CholeskyInverse(a, &inverse));
+  EXPECT_TRUE(AllClose(MatMul(a, inverse), Matrix::Identity(5), 1e-9));
+}
+
+TEST(CholeskyTest, SolveRowEquivalentToExplicitInverse) {
+  // Eq. 9's two forms: row = c·(B+λI)⁻¹ vs solving the symmetric system.
+  Matrix a = RandomSpd(4, 0.01, 6);
+  Rng rng(7);
+  std::vector<double> c(4), row(4);
+  for (auto& v : c) v = rng.Normal();
+  ASSERT_TRUE(CholeskySolveRow(a, c.data(), row.data()));
+
+  Matrix inverse;
+  ASSERT_TRUE(CholeskyInverse(a, &inverse));
+  for (int j = 0; j < 4; ++j) {
+    double expected = 0.0;
+    for (int i = 0; i < 4; ++i) expected += c[i] * inverse(i, j);
+    EXPECT_NEAR(row[j], expected, 1e-9);
+  }
+}
+
+TEST(CholeskyTest, SolveInPlaceAliasing) {
+  Matrix a = RandomSpd(3, 0.1, 8);
+  Rng rng(9);
+  std::vector<double> b(3);
+  for (auto& v : b) v = rng.Normal();
+  const auto b_copy = b;
+  Matrix lower;
+  ASSERT_TRUE(CholeskyFactor(a, &lower));
+  CholeskySolveFactored(lower, b.data(), b.data());  // x aliases b
+  std::vector<double> ax(3);
+  MatVec(a, b.data(), ax.data());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b_copy[i], 1e-9);
+}
+
+// Property sweep: Eq. 9-style systems are solvable for every J and λ > 0.
+class CholeskySweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CholeskySweep, RankDeficientGramPlusLambdaIsSolvable) {
+  const auto [n, lambda] = GetParam();
+  // Gram of a single vector: rank 1 (deficient for n > 1).
+  Rng rng(n);
+  Matrix b(n, n);
+  std::vector<double> v(n);
+  for (auto& value : v) value = rng.Normal();
+  SymmetricRank1Update(b, v.data());
+  for (int i = 0; i < n; ++i) b(i, i) += lambda;
+
+  std::vector<double> rhs(n, 1.0), x(n), check(n);
+  ASSERT_TRUE(CholeskySolve(b, rhs.data(), x.data()));
+  MatVec(b, x.data(), check.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(check[i], 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CholeskySweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13),
+                       ::testing::Values(1e-3, 1e-2, 1.0)));
+
+}  // namespace
+}  // namespace ptucker

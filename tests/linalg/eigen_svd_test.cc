@@ -1,0 +1,175 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+Matrix RandomMatrix(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  m.FillUniform(rng);
+  return m;
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  EigenResult eigen = JacobiEigen(a);
+  EXPECT_NEAR(eigen.eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(eigen.eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(eigen.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2, {2, 1, 1, 2});
+  EigenResult eigen = JacobiEigen(a);
+  EXPECT_NEAR(eigen.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eigen.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  Rng rng(1);
+  Matrix b = RandomMatrix(6, 6, 1);
+  Matrix a = MatTMul(b, b);  // symmetric PSD
+  EigenResult eigen = JacobiEigen(a);
+  // A = V diag(λ) Vᵀ
+  Matrix lambda_vt(6, 6);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      lambda_vt(i, j) = eigen.eigenvalues[static_cast<std::size_t>(i)] *
+                        eigen.eigenvectors(j, i);
+    }
+  }
+  EXPECT_TRUE(AllClose(MatMul(eigen.eigenvectors, lambda_vt), a, 1e-9));
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  Matrix b = RandomMatrix(8, 8, 2);
+  Matrix a = MatTMul(b, b);
+  EigenResult eigen = JacobiEigen(a);
+  EXPECT_LT(OrthonormalityDefect(eigen.eigenvectors), 1e-10);
+}
+
+TEST(JacobiEigenTest, TraceEqualsEigenvalueSum) {
+  Matrix b = RandomMatrix(5, 5, 3);
+  Matrix a = MatTMul(b, b);
+  EigenResult eigen = JacobiEigen(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::int64_t i = 0; i < 5; ++i) trace += a(i, i);
+  for (double lambda : eigen.eigenvalues) sum += lambda;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(ThinSvdTest, ReconstructsLowRankExactly) {
+  // Build a rank-2 matrix and recover it with rank-2 SVD.
+  Matrix u = RandomMatrix(8, 2, 4);
+  Matrix v = RandomMatrix(5, 2, 5);
+  Matrix a = MatMulT(u, v);
+  SvdResult svd = ThinSvd(a, 2);
+  // U Σ Vᵀ
+  Matrix us(8, 2);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) {
+      us(i, j) = svd.u(i, j) * svd.singular_values[static_cast<std::size_t>(j)];
+    }
+  }
+  EXPECT_TRUE(AllClose(MatMulT(us, svd.v), a, 1e-9));
+}
+
+TEST(ThinSvdTest, SingularValuesDescendingNonNegative) {
+  Matrix a = RandomMatrix(10, 6, 6);
+  SvdResult svd = ThinSvd(a, 6);
+  for (std::size_t i = 0; i + 1 < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i], svd.singular_values[i + 1]);
+  }
+  EXPECT_GE(svd.singular_values.back(), 0.0);
+}
+
+TEST(ThinSvdTest, MatchesFrobeniusNorm) {
+  Matrix a = RandomMatrix(7, 4, 7);
+  SvdResult svd = ThinSvd(a, 4);
+  double sum_sq = 0.0;
+  for (double s : svd.singular_values) sum_sq += s * s;
+  EXPECT_NEAR(std::sqrt(sum_sq), a.FrobeniusNorm(), 1e-9);
+}
+
+TEST(LeadingLeftSingularVectorsTest, OrthonormalAndOptimal) {
+  Matrix a = RandomMatrix(12, 6, 8);
+  Matrix u = LeadingLeftSingularVectors(a, 3);
+  ASSERT_EQ(u.rows(), 12);
+  ASSERT_EQ(u.cols(), 3);
+  EXPECT_LT(OrthonormalityDefect(u), 1e-9);
+  // Optimality: projection energy ‖Uᵀa‖ must beat a random orthonormal
+  // basis of the same size.
+  Matrix random_basis = HouseholderQr(RandomMatrix(12, 3, 9)).q;
+  EXPECT_GT(MatTMul(u, a).FrobeniusNorm(),
+            MatTMul(random_basis, a).FrobeniusNorm() - 1e-12);
+}
+
+TEST(LeadingLeftSingularVectorsTest, RankDeficientInputCompletesBasis) {
+  // Rank-1 matrix, ask for 3 left singular vectors: columns 2-3 are a
+  // basis completion and must stay orthonormal.
+  Matrix a(6, 4);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      a(i, j) = static_cast<double>(i + 1);
+    }
+  }
+  Matrix u = LeadingLeftSingularVectors(a, 3);
+  EXPECT_LT(OrthonormalityDefect(u), 1e-8);
+}
+
+TEST(RightSingularVectorsFromGramTest, MatchesThinSvd) {
+  Matrix a = RandomMatrix(9, 5, 10);
+  Matrix gram = MatTMul(a, a);
+  GramSvd from_gram = RightSingularVectorsFromGram(gram, 5);
+  SvdResult svd = ThinSvd(a, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(from_gram.singular_values[i], svd.singular_values[i], 1e-9);
+  }
+}
+
+class SvdRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvdRankSweep, TruncationErrorDecreasesWithRank) {
+  const int rank = GetParam();
+  Matrix a = RandomMatrix(15, 8, 11);
+  SvdResult svd = ThinSvd(a, rank);
+  // Residual ‖A − U Σ Vᵀ‖² = Σ_{i>rank} σ²  (Eckart-Young).
+  Matrix us(15, rank);
+  for (std::int64_t i = 0; i < 15; ++i) {
+    for (int j = 0; j < rank; ++j) {
+      us(i, j) = svd.u(i, j) * svd.singular_values[static_cast<std::size_t>(j)];
+    }
+  }
+  Matrix approx = MatMulT(us, svd.v);
+  double residual_sq = 0.0;
+  for (std::int64_t i = 0; i < 15; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) {
+      const double d = a(i, j) - approx(i, j);
+      residual_sq += d * d;
+    }
+  }
+  SvdResult full = ThinSvd(a, 8);
+  double expected = 0.0;
+  for (int j = rank; j < 8; ++j) {
+    expected += full.singular_values[static_cast<std::size_t>(j)] *
+                full.singular_values[static_cast<std::size_t>(j)];
+  }
+  EXPECT_NEAR(residual_sq, expected, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SvdRankSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,99 @@
+#include "linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+TEST(LuTest, SolveKnownSystem) {
+  Matrix a(2, 2, {2, 1, 1, 3});
+  const double b[2] = {5, 10};
+  double x[2];
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  lu.Solve(b, x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, SolveNeedsPivoting) {
+  // Zero leading pivot forces a row swap.
+  Matrix a(2, 2, {0, 1, 1, 0});
+  const double b[2] = {3, 7};
+  double x[2];
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  lu.Solve(b, x);
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, DetectsSingular) {
+  Matrix a(2, 2, {1, 2, 2, 4});
+  LuDecomposition lu(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.Determinant(), 0.0);
+}
+
+TEST(LuTest, DeterminantKnown) {
+  Matrix a(2, 2, {3, 1, 4, 2});
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.Determinant(), 2.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantSignUnderPermutation) {
+  Matrix a(2, 2, {0, 1, 1, 0});  // det = -1
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, InverseRoundTrip) {
+  Rng rng(3);
+  Matrix a(5, 5);
+  a.FillUniform(rng);
+  for (int i = 0; i < 5; ++i) a(i, i) += 2.0;  // diagonally dominant
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(AllClose(MatMul(a, lu.Inverse()), Matrix::Identity(5), 1e-10));
+}
+
+TEST(LuTest, MatrixSolveMultipleRhs) {
+  Rng rng(4);
+  Matrix a(4, 4);
+  a.FillUniform(rng);
+  for (int i = 0; i < 4; ++i) a(i, i) += 3.0;
+  Matrix b(4, 3);
+  b.FillUniform(rng);
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  Matrix x = lu.Solve(b);
+  EXPECT_TRUE(AllClose(MatMul(a, x), b, 1e-10));
+}
+
+class LuSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSizeSweep, RandomDiagonallyDominantSolves) {
+  const int n = GetParam();
+  Rng rng(17 + n);
+  Matrix a(n, n);
+  a.FillUniform(rng);
+  for (int i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  std::vector<double> b(n), x(n), check(n);
+  for (auto& v : b) v = rng.Normal();
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  lu.Solve(b.data(), x.data());
+  MatVec(a, x.data(), check.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(check[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,66 @@
+#include "linalg/matrix_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+TEST(MatrixIoTest, RoundTripExact) {
+  Rng rng(1);
+  Matrix original(7, 4);
+  original.FillUniform(rng);
+  Matrix parsed = ParseMatrix(FormatMatrix(original));
+  ASSERT_EQ(parsed.rows(), 7);
+  ASSERT_EQ(parsed.cols(), 4);
+  EXPECT_EQ(original.MaxAbsDiff(parsed), 0.0);  // %.17g is bit-exact
+}
+
+TEST(MatrixIoTest, ParsesNegativeAndExponent) {
+  Matrix m = ParseMatrix("-1.5 2e3\n0 -4e-2\n");
+  EXPECT_EQ(m(0, 0), -1.5);
+  EXPECT_EQ(m(0, 1), 2000.0);
+  EXPECT_EQ(m(1, 1), -0.04);
+}
+
+TEST(MatrixIoTest, SkipsBlankLines) {
+  Matrix m = ParseMatrix("1 2\n\n3 4\n");
+  ASSERT_EQ(m.rows(), 2);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixIoTest, RejectsRaggedRows) {
+  EXPECT_THROW(ParseMatrix("1 2\n3\n"), std::runtime_error);
+}
+
+TEST(MatrixIoTest, RejectsNonNumeric) {
+  EXPECT_THROW(ParseMatrix("1 x\n"), std::runtime_error);
+}
+
+TEST(MatrixIoTest, RejectsEmpty) {
+  EXPECT_THROW(ParseMatrix("  \n"), std::runtime_error);
+}
+
+TEST(MatrixIoTest, FileRoundTrip) {
+  Rng rng(2);
+  Matrix original(5, 5);
+  original.FillUniform(rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ptucker_matrix_io.txt")
+          .string();
+  WriteMatrix(path, original);
+  Matrix loaded = ReadMatrix(path);
+  EXPECT_EQ(original.MaxAbsDiff(loaded), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, MissingFileThrows) {
+  EXPECT_THROW(ReadMatrix("/nonexistent/ptucker.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,106 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, FillValueConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(0, 0), 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(MatrixTest, DataConstructorRowMajor) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowPointerMatchesElements) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const double* row = m.Row(1);
+  EXPECT_EQ(row[0], 4);
+  EXPECT_EQ(row[2], 6);
+  m.Row(0)[1] = 42;
+  EXPECT_EQ(m(0, 1), 42);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(0, 1), 4);
+  EXPECT_EQ(t(2, 0), 3);
+}
+
+TEST(MatrixTest, TransposeTwiceIsIdentityOp) {
+  Rng rng(5);
+  Matrix m(4, 7);
+  m.FillUniform(rng);
+  EXPECT_TRUE(AllClose(m, m.Transposed().Transposed(), 0.0));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(2, 2, {3, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {1, 2.5, 3, 4});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.5);
+}
+
+TEST(MatrixTest, Scale) {
+  Matrix m(1, 3, {1, -2, 3});
+  m.Scale(-2.0);
+  EXPECT_EQ(m(0, 0), -2);
+  EXPECT_EQ(m(0, 1), 4);
+  EXPECT_EQ(m(0, 2), -6);
+}
+
+TEST(MatrixTest, FillUniformInRange) {
+  Rng rng(9);
+  Matrix m(10, 10);
+  m.FillUniform(rng);
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], 0.0);
+    EXPECT_LT(m.data()[i], 1.0);
+  }
+}
+
+TEST(MatrixTest, AllCloseShapeMismatch) {
+  EXPECT_FALSE(AllClose(Matrix(2, 2), Matrix(2, 3), 1.0));
+}
+
+TEST(MatrixTest, ByteSize) {
+  Matrix m(3, 5);
+  EXPECT_EQ(m.ByteSize(), 3 * 5 * static_cast<std::int64_t>(sizeof(double)));
+}
+
+}  // namespace
+}  // namespace ptucker

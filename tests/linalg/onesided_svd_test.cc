@@ -1,0 +1,113 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+Matrix RandomMatrix(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  m.FillUniform(rng);
+  return m;
+}
+
+TEST(OneSidedJacobiTest, ReconstructsInput) {
+  Matrix a = RandomMatrix(10, 5, 1);
+  SvdResult svd = OneSidedJacobiSvd(a);
+  Matrix us(10, 5);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      us(i, j) = svd.u(i, j) * svd.singular_values[static_cast<std::size_t>(j)];
+    }
+  }
+  EXPECT_TRUE(AllClose(MatMulT(us, svd.v), a, 1e-10));
+}
+
+TEST(OneSidedJacobiTest, FactorsOrthonormal) {
+  Matrix a = RandomMatrix(12, 6, 2);
+  SvdResult svd = OneSidedJacobiSvd(a);
+  EXPECT_LT(OrthonormalityDefect(svd.u), 1e-10);
+  EXPECT_LT(OrthonormalityDefect(svd.v), 1e-10);
+}
+
+TEST(OneSidedJacobiTest, SingularValuesMatchGramRoute) {
+  Matrix a = RandomMatrix(9, 4, 3);
+  SvdResult jacobi = OneSidedJacobiSvd(a);
+  SvdResult gram = ThinSvd(a, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(jacobi.singular_values[j], gram.singular_values[j], 1e-9);
+  }
+}
+
+TEST(OneSidedJacobiTest, DescendingSingularValues) {
+  Matrix a = RandomMatrix(15, 7, 4);
+  SvdResult svd = OneSidedJacobiSvd(a);
+  for (std::size_t j = 0; j + 1 < svd.singular_values.size(); ++j) {
+    EXPECT_GE(svd.singular_values[j], svd.singular_values[j + 1]);
+  }
+}
+
+TEST(OneSidedJacobiTest, HighRelativeAccuracyOnIllConditioned) {
+  // σ spread over 10 orders of magnitude: the Gram route loses the small
+  // σ entirely (σ² underflows the eigenvalue gap) while one-sided Jacobi
+  // keeps full relative accuracy — the reason LAPACK-class SVDs matter.
+  const std::int64_t n = 4;
+  Matrix q1 = HouseholderQr(RandomMatrix(12, n, 5)).q;
+  Matrix q2 = HouseholderQr(RandomMatrix(n, n, 6)).q;
+  const double sigmas[4] = {1e4, 1.0, 1e-3, 1e-6};
+  Matrix scaled(12, n);
+  for (std::int64_t i = 0; i < 12; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) scaled(i, j) = q1(i, j) * sigmas[j];
+  }
+  Matrix a = MatMulT(scaled, q2.Transposed());
+  SvdResult svd = OneSidedJacobiSvd(a);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(svd.singular_values[static_cast<std::size_t>(j)] /
+                    sigmas[j],
+                1.0, 1e-6)
+        << "sigma " << sigmas[j];
+  }
+}
+
+TEST(OneSidedJacobiTest, RankDeficientCompletesBasis) {
+  Matrix a(8, 3);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const double base = static_cast<double>(i + 1);
+    a(i, 0) = base;
+    a(i, 1) = 2.0 * base;  // dependent
+    a(i, 2) = base * base; // independent
+  }
+  SvdResult svd = OneSidedJacobiSvd(a);
+  EXPECT_LT(OrthonormalityDefect(svd.u), 1e-8);
+  EXPECT_NEAR(svd.singular_values.back(), 0.0, 1e-8);
+}
+
+TEST(ExactSvdLeftSingularVectorsTest, MatchesTruncatedOnLeadingColumns) {
+  Matrix a = RandomMatrix(20, 6, 7);
+  Matrix exact = ExactSvdLeftSingularVectors(a, 3);
+  Matrix truncated = LeadingLeftSingularVectors(a, 3);
+  ASSERT_EQ(exact.cols(), 3);
+  // Columns agree up to sign.
+  for (std::int64_t j = 0; j < 3; ++j) {
+    double dot = 0.0;
+    for (std::int64_t i = 0; i < 20; ++i) dot += exact(i, j) * truncated(i, j);
+    EXPECT_NEAR(std::fabs(dot), 1.0, 1e-8) << "column " << j;
+  }
+}
+
+TEST(ExactSvdLeftSingularVectorsTest, WideMatrixFallback) {
+  Matrix a = RandomMatrix(4, 10, 8);
+  Matrix u = ExactSvdLeftSingularVectors(a, 2);
+  ASSERT_EQ(u.rows(), 4);
+  ASSERT_EQ(u.cols(), 2);
+  EXPECT_LT(OrthonormalityDefect(u), 1e-9);
+}
+
+}  // namespace
+}  // namespace ptucker

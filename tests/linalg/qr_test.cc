@@ -1,0 +1,102 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+Matrix RandomMatrix(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  m.FillUniform(rng);
+  return m;
+}
+
+TEST(QrTest, ReconstructsInput) {
+  Matrix a = RandomMatrix(8, 4, 1);
+  QrResult qr = HouseholderQr(a);
+  EXPECT_TRUE(AllClose(MatMul(qr.q, qr.r), a, 1e-10));
+}
+
+TEST(QrTest, QHasOrthonormalColumns) {
+  Matrix a = RandomMatrix(10, 5, 2);
+  QrResult qr = HouseholderQr(a);
+  EXPECT_LT(OrthonormalityDefect(qr.q), 1e-10);
+}
+
+TEST(QrTest, RIsUpperTriangularWithNonNegativeDiagonal) {
+  Matrix a = RandomMatrix(7, 5, 3);
+  QrResult qr = HouseholderQr(a);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_GE(qr.r(i, i), 0.0);
+    for (std::int64_t j = 0; j < i; ++j) EXPECT_EQ(qr.r(i, j), 0.0);
+  }
+}
+
+TEST(QrTest, SquareMatrix) {
+  Matrix a = RandomMatrix(5, 5, 4);
+  QrResult qr = HouseholderQr(a);
+  EXPECT_TRUE(AllClose(MatMul(qr.q, qr.r), a, 1e-10));
+  EXPECT_LT(OrthonormalityDefect(qr.q), 1e-10);
+}
+
+TEST(QrTest, SingleColumn) {
+  Matrix a(3, 1, {3, 0, 4});
+  QrResult qr = HouseholderQr(a);
+  EXPECT_NEAR(qr.r(0, 0), 5.0, 1e-12);
+  EXPECT_NEAR(qr.q(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(qr.q(2, 0), 0.8, 1e-12);
+}
+
+TEST(QrTest, AlreadyOrthogonalInput) {
+  // QR of an orthonormal matrix: Q ≈ input, R ≈ I.
+  Matrix a = RandomMatrix(6, 3, 5);
+  Matrix q1 = HouseholderQr(a).q;
+  QrResult qr = HouseholderQr(q1);
+  EXPECT_TRUE(AllClose(qr.r, Matrix::Identity(3), 1e-10));
+  EXPECT_TRUE(AllClose(qr.q, q1, 1e-10));
+}
+
+TEST(QrTest, RankDeficientStillReconstructs) {
+  // Two identical columns.
+  Matrix a(4, 2);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+  }
+  QrResult qr = HouseholderQr(a);
+  EXPECT_TRUE(AllClose(MatMul(qr.q, qr.r), a, 1e-10));
+}
+
+TEST(QrTest, ZeroMatrix) {
+  Matrix a(3, 2);
+  QrResult qr = HouseholderQr(a);
+  EXPECT_TRUE(AllClose(MatMul(qr.q, qr.r), a, 1e-12));
+}
+
+class QrShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QrShapeSweep, FactorizationProperties) {
+  const auto [m, n] = GetParam();
+  Matrix a = RandomMatrix(m, n, 50 + m * 7 + n);
+  QrResult qr = HouseholderQr(a);
+  ASSERT_EQ(qr.q.rows(), m);
+  ASSERT_EQ(qr.q.cols(), n);
+  ASSERT_EQ(qr.r.rows(), n);
+  ASSERT_EQ(qr.r.cols(), n);
+  EXPECT_TRUE(AllClose(MatMul(qr.q, qr.r), a, 1e-9));
+  EXPECT_LT(OrthonormalityDefect(qr.q), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrShapeSweep,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(3, 1),
+                      std::make_tuple(4, 4), std::make_tuple(10, 3),
+                      std::make_tuple(50, 10), std::make_tuple(100, 2)));
+
+}  // namespace
+}  // namespace ptucker

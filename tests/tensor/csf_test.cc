@@ -1,0 +1,155 @@
+#include "tensor/csf.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "tensor/nmode.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+Matrix RandomMatrix(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  m.FillUniform(rng);
+  return m;
+}
+
+std::vector<std::int64_t> RootedOrder(std::int64_t order, std::int64_t root) {
+  std::vector<std::int64_t> result{root};
+  for (std::int64_t k = 0; k < order; ++k) {
+    if (k != root) result.push_back(k);
+  }
+  return result;
+}
+
+TEST(CsfTest, LeafCountEqualsNnz) {
+  Rng rng(1);
+  SparseTensor x = UniformCubicTensor(3, 8, 60, rng);
+  CsfTensor csf(x, {0, 1, 2});
+  EXPECT_EQ(csf.nnz(), x.nnz());
+}
+
+TEST(CsfTest, PrefixCompression) {
+  // Three entries sharing the mode-0 index must share one root node.
+  SparseTensor x({4, 4, 4});
+  x.AddEntry({2, 0, 0}, 1.0);
+  x.AddEntry({2, 1, 0}, 2.0);
+  x.AddEntry({2, 1, 3}, 3.0);
+  x.AddEntry({0, 0, 0}, 4.0);
+  CsfTensor csf(x, {0, 1, 2});
+  EXPECT_EQ(csf.num_nodes(0), 2);  // roots {0, 2}
+  EXPECT_EQ(csf.num_nodes(1), 3);  // (0,0), (2,0), (2,1)
+  EXPECT_EQ(csf.num_nodes(2), 4);
+}
+
+TEST(CsfTest, FptrRangesAreConsistent) {
+  Rng rng(2);
+  SparseTensor x = UniformCubicTensor(4, 5, 40, rng);
+  CsfTensor csf(x, {0, 1, 2, 3});
+  for (std::int64_t level = 0; level < 3; ++level) {
+    const auto& ptr = csf.fptr(level);
+    ASSERT_EQ(static_cast<std::int64_t>(ptr.size()),
+              csf.num_nodes(level) + 1);
+    EXPECT_EQ(ptr.front(), 0);
+    EXPECT_EQ(ptr.back(), csf.num_nodes(level + 1));
+    for (std::size_t i = 1; i < ptr.size(); ++i) {
+      EXPECT_LT(ptr[i - 1], ptr[i]);  // every node has >= 1 child
+    }
+  }
+}
+
+TEST(CsfTest, DuplicateCoordinatesCollapse) {
+  SparseTensor x({3, 3});
+  x.AddEntry({1, 2}, 1.5);
+  x.AddEntry({1, 2}, 2.5);
+  CsfTensor csf(x, {0, 1});
+  EXPECT_EQ(csf.nnz(), 1);
+  EXPECT_DOUBLE_EQ(csf.leaf_values()[0], 4.0);
+}
+
+TEST(CsfTest, TtmcRootMatchesCooStreaming) {
+  Rng rng(3);
+  SparseTensor x = UniformSparseTensor({6, 5, 4}, 30, rng);
+  std::vector<Matrix> factors = {RandomMatrix(6, 3, 10),
+                                 RandomMatrix(5, 2, 11),
+                                 RandomMatrix(4, 2, 12)};
+  for (std::int64_t root = 0; root < 3; ++root) {
+    CsfTensor csf(x, RootedOrder(3, root));
+    Matrix from_csf = csf.TtmcRoot(factors);
+    Matrix from_coo = SparseTtmChain(x, factors, root);
+    EXPECT_TRUE(AllClose(from_csf, from_coo, 1e-10)) << "root " << root;
+  }
+}
+
+TEST(CsfTest, TtmcRootOrderFour) {
+  Rng rng(4);
+  SparseTensor x = UniformSparseTensor({4, 3, 5, 3}, 25, rng);
+  std::vector<Matrix> factors = {RandomMatrix(4, 2, 13),
+                                 RandomMatrix(3, 2, 14),
+                                 RandomMatrix(5, 3, 15),
+                                 RandomMatrix(3, 2, 16)};
+  for (std::int64_t root = 0; root < 4; ++root) {
+    CsfTensor csf(x, RootedOrder(4, root));
+    EXPECT_TRUE(AllClose(csf.TtmcRoot(factors),
+                         SparseTtmChain(x, factors, root), 1e-10))
+        << "root " << root;
+  }
+}
+
+TEST(CsfTest, TtmcOrderTwo) {
+  SparseTensor x({3, 4});
+  x.AddEntry({0, 1}, 2.0);
+  x.AddEntry({2, 3}, -1.0);
+  std::vector<Matrix> factors = {RandomMatrix(3, 2, 17),
+                                 RandomMatrix(4, 2, 18)};
+  CsfTensor csf(x, {0, 1});
+  EXPECT_TRUE(AllClose(csf.TtmcRoot(factors),
+                       SparseTtmChain(x, factors, 0), 1e-12));
+}
+
+TEST(CsfTest, ByteSizeIsPositiveAndBounded) {
+  Rng rng(5);
+  SparseTensor x = UniformCubicTensor(3, 10, 100, rng);
+  CsfTensor csf(x, {0, 1, 2});
+  EXPECT_GT(csf.ByteSize(), 0);
+  // Tree cannot exceed the raw COO footprint by more than the fptr
+  // overhead.
+  EXPECT_LE(csf.ByteSize(), x.ByteSize() + static_cast<std::int64_t>(
+      (x.nnz() + 3) * 3 * sizeof(std::int64_t)));
+}
+
+TEST(CsfTest, TracksScratchMemory) {
+  Rng rng(6);
+  SparseTensor x = UniformCubicTensor(3, 6, 20, rng);
+  std::vector<Matrix> factors = {RandomMatrix(6, 2, 19),
+                                 RandomMatrix(6, 2, 20),
+                                 RandomMatrix(6, 2, 21)};
+  MemoryTracker tracker;
+  CsfTensor csf(x, {0, 1, 2});
+  csf.TtmcRoot(factors, &tracker);
+  EXPECT_GT(tracker.peak_bytes(), 0);
+  EXPECT_EQ(tracker.current_bytes(), 0);
+}
+
+class CsfModeOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsfModeOrderSweep, AnyRootMatchesCoo) {
+  const int root = GetParam();
+  Rng rng(30 + root);
+  SparseTensor x = UniformSparseTensor({7, 6, 5, 4}, 50, rng);
+  std::vector<Matrix> factors = {RandomMatrix(7, 2, 31),
+                                 RandomMatrix(6, 3, 32),
+                                 RandomMatrix(5, 2, 33),
+                                 RandomMatrix(4, 2, 34)};
+  CsfTensor csf(x, RootedOrder(4, root));
+  EXPECT_TRUE(AllClose(csf.TtmcRoot(factors),
+                       SparseTtmChain(x, factors, root), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, CsfModeOrderSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace ptucker

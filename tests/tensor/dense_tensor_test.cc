@@ -1,0 +1,85 @@
+#include "tensor/dense_tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+TEST(DenseTensorTest, ZeroInitialized) {
+  DenseTensor t({2, 3, 4});
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.size(), 24);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0);
+}
+
+TEST(DenseTensorTest, MultiIndexAccess) {
+  DenseTensor t({2, 3});
+  const std::int64_t idx[2] = {1, 2};
+  t.at(idx) = 7.0;
+  EXPECT_EQ(t.at(idx), 7.0);
+  // Mode-0-fastest layout: linear = 1 + 2*2 = 5.
+  EXPECT_EQ(t[5], 7.0);
+}
+
+TEST(DenseTensorTest, IndexOfRoundTrip) {
+  DenseTensor t({3, 2, 4});
+  std::int64_t index[3];
+  for (std::int64_t linear = 0; linear < t.size(); ++linear) {
+    t.IndexOf(linear, index);
+    EXPECT_EQ(&t.at(index), &t[linear]);
+  }
+}
+
+TEST(DenseTensorTest, FillAndNorm) {
+  DenseTensor t({2, 2});
+  t.Fill(2.0);
+  EXPECT_DOUBLE_EQ(t.FrobeniusNorm(), 4.0);
+}
+
+TEST(DenseTensorTest, Scale) {
+  DenseTensor t({3});
+  t.Fill(2.0);
+  t.Scale(-1.5);
+  EXPECT_EQ(t[0], -3.0);
+}
+
+TEST(DenseTensorTest, CountNonZeros) {
+  DenseTensor t({2, 3});
+  EXPECT_EQ(t.CountNonZeros(), 0);
+  t[0] = 1.0;
+  t[5] = -2.0;
+  EXPECT_EQ(t.CountNonZeros(), 2);
+}
+
+TEST(DenseTensorTest, FillUniform) {
+  Rng rng(3);
+  DenseTensor t({4, 4});
+  t.FillUniform(rng);
+  EXPECT_GT(t.CountNonZeros(), 0);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], 0.0);
+    EXPECT_LT(t[i], 1.0);
+  }
+}
+
+TEST(DenseTensorTest, MaxAbsDiff) {
+  DenseTensor a({2, 2}), b({2, 2});
+  a[3] = 1.0;
+  b[3] = -1.0;
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 2.0);
+}
+
+TEST(DenseTensorTest, OrderOneTensor) {
+  DenseTensor t({5});
+  EXPECT_EQ(t.size(), 5);
+  const std::int64_t idx[1] = {4};
+  t.at(idx) = 1.0;
+  EXPECT_EQ(t[4], 1.0);
+}
+
+}  // namespace
+}  // namespace ptucker

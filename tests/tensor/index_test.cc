@@ -1,0 +1,86 @@
+#include "tensor/index.h"
+
+#include <gtest/gtest.h>
+
+namespace ptucker {
+namespace {
+
+TEST(IndexTest, NumElements) {
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({7}), 7);
+  EXPECT_EQ(NumElements({}), 1);
+}
+
+TEST(IndexTest, StridesMode0Fastest) {
+  const auto strides = ComputeStrides({2, 3, 4});
+  EXPECT_EQ(strides[0], 1);
+  EXPECT_EQ(strides[1], 2);
+  EXPECT_EQ(strides[2], 6);
+}
+
+TEST(IndexTest, LinearizeDelinearizeRoundTrip) {
+  const std::vector<std::int64_t> dims = {3, 4, 5};
+  const auto strides = ComputeStrides(dims);
+  std::int64_t index[3];
+  for (std::int64_t linear = 0; linear < NumElements(dims); ++linear) {
+    Delinearize(linear, dims, index);
+    EXPECT_EQ(Linearize(index, strides, 3), linear);
+    EXPECT_TRUE(IndexInBounds(index, dims));
+  }
+}
+
+TEST(IndexTest, LinearizeKnownValues) {
+  const std::vector<std::int64_t> dims = {2, 3};
+  const auto strides = ComputeStrides(dims);
+  const std::int64_t idx_a[2] = {1, 0};
+  const std::int64_t idx_b[2] = {0, 1};
+  const std::int64_t idx_c[2] = {1, 2};
+  EXPECT_EQ(Linearize(idx_a, strides, 2), 1);
+  EXPECT_EQ(Linearize(idx_b, strides, 2), 2);
+  EXPECT_EQ(Linearize(idx_c, strides, 2), 5);
+}
+
+TEST(IndexTest, MatricizeColumnStridesMatchEq1) {
+  // Eq. 1 with dims I = (2, 3, 4), skip mode 1: strides over modes (0, 2)
+  // are (1, 2): j = i0 + 2·i2.
+  const auto strides = MatricizeColumnStrides({2, 3, 4}, 1);
+  EXPECT_EQ(strides[0], 1);
+  EXPECT_EQ(strides[1], 0);  // skipped
+  EXPECT_EQ(strides[2], 2);
+}
+
+TEST(IndexTest, MatricizeColumnStridesSkipFirst) {
+  const auto strides = MatricizeColumnStrides({5, 3, 4}, 0);
+  EXPECT_EQ(strides[0], 0);
+  EXPECT_EQ(strides[1], 1);
+  EXPECT_EQ(strides[2], 3);
+}
+
+TEST(IndexTest, MatricizeColumnsCoverAllCombinations) {
+  // Distinct (i0, i2) pairs must map to distinct columns in [0, 8).
+  const std::vector<std::int64_t> dims = {2, 3, 4};
+  const auto strides = MatricizeColumnStrides(dims, 1);
+  std::vector<bool> seen(8, false);
+  for (std::int64_t i0 = 0; i0 < 2; ++i0) {
+    for (std::int64_t i2 = 0; i2 < 4; ++i2) {
+      const std::int64_t col = i0 * strides[0] + i2 * strides[2];
+      ASSERT_GE(col, 0);
+      ASSERT_LT(col, 8);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(col)]);
+      seen[static_cast<std::size_t>(col)] = true;
+    }
+  }
+}
+
+TEST(IndexTest, IndexInBounds) {
+  const std::vector<std::int64_t> dims = {2, 2};
+  const std::int64_t good[2] = {1, 1};
+  const std::int64_t negative[2] = {-1, 0};
+  const std::int64_t too_big[2] = {0, 2};
+  EXPECT_TRUE(IndexInBounds(good, dims));
+  EXPECT_FALSE(IndexInBounds(negative, dims));
+  EXPECT_FALSE(IndexInBounds(too_big, dims));
+}
+
+}  // namespace
+}  // namespace ptucker

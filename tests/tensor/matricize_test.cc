@@ -1,0 +1,109 @@
+#include "tensor/matricize.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "tensor/index.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+DenseTensor RandomTensor(const std::vector<std::int64_t>& dims,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  DenseTensor t(dims);
+  t.FillUniform(rng);
+  return t;
+}
+
+TEST(MatricizeTest, ShapeAndRoundTrip) {
+  DenseTensor t = RandomTensor({3, 4, 5}, 1);
+  for (std::int64_t mode = 0; mode < 3; ++mode) {
+    Matrix unfolded = Matricize(t, mode);
+    EXPECT_EQ(unfolded.rows(), t.dim(mode));
+    EXPECT_EQ(unfolded.cols(), t.size() / t.dim(mode));
+    DenseTensor back = Dematricize(unfolded, t.dims(), mode);
+    EXPECT_LT(MaxAbsDiff(t, back), 1e-15);
+  }
+}
+
+TEST(MatricizeTest, KoldaExampleMode0) {
+  // The standard 3x4x2 example from Kolda & Bader: X(:,:,1) fills values
+  // 1..12 column-wise, X(:,:,2) fills 13..24. Mode-1 (0-based mode 0)
+  // unfolding is [1..12 | 13..24] side by side.
+  DenseTensor t({3, 4, 2});
+  std::int64_t index[3];
+  double value = 1.0;
+  for (std::int64_t k = 0; k < 2; ++k) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      for (std::int64_t i = 0; i < 3; ++i) {
+        index[0] = i;
+        index[1] = j;
+        index[2] = k;
+        t.at(index) = value;
+        value += 1.0;
+      }
+    }
+  }
+  Matrix unfolded = Matricize(t, 0);
+  ASSERT_EQ(unfolded.rows(), 3);
+  ASSERT_EQ(unfolded.cols(), 8);
+  EXPECT_EQ(unfolded(0, 0), 1.0);
+  EXPECT_EQ(unfolded(1, 0), 2.0);
+  EXPECT_EQ(unfolded(0, 1), 4.0);
+  EXPECT_EQ(unfolded(0, 4), 13.0);
+  EXPECT_EQ(unfolded(2, 7), 24.0);
+}
+
+TEST(MatricizeTest, Eq1ColumnFormula) {
+  // Verify element placement against Eq. (1) directly (0-based form).
+  DenseTensor t = RandomTensor({2, 3, 2, 2}, 2);
+  const std::int64_t mode = 2;
+  Matrix unfolded = Matricize(t, mode);
+  const auto col_strides = MatricizeColumnStrides(t.dims(), mode);
+  std::int64_t index[4];
+  for (std::int64_t linear = 0; linear < t.size(); ++linear) {
+    t.IndexOf(linear, index);
+    std::int64_t col = 0;
+    for (std::int64_t k = 0; k < 4; ++k) {
+      if (k == mode) continue;
+      col += index[k] * col_strides[static_cast<std::size_t>(k)];
+    }
+    EXPECT_EQ(unfolded(index[mode], col), t[linear]);
+  }
+}
+
+TEST(MatricizeTest, PreservesFrobeniusNorm) {
+  DenseTensor t = RandomTensor({4, 3, 5}, 3);
+  for (std::int64_t mode = 0; mode < 3; ++mode) {
+    EXPECT_NEAR(Matricize(t, mode).FrobeniusNorm(), t.FrobeniusNorm(),
+                1e-12);
+  }
+}
+
+TEST(MatricizeTest, OrderTwoIsMatrixOrTranspose) {
+  DenseTensor t = RandomTensor({3, 4}, 4);
+  Matrix m0 = Matricize(t, 0);
+  Matrix m1 = Matricize(t, 1);
+  EXPECT_TRUE(AllClose(m0, m1.Transposed(), 1e-15));
+}
+
+class MatricizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatricizeSweep, RoundTripAllModes) {
+  const int order = GetParam();
+  std::vector<std::int64_t> dims;
+  for (int k = 0; k < order; ++k) dims.push_back(2 + (k % 3));
+  DenseTensor t = RandomTensor(dims, 40 + order);
+  for (std::int64_t mode = 0; mode < order; ++mode) {
+    DenseTensor back = Dematricize(Matricize(t, mode), dims, mode);
+    EXPECT_LT(MaxAbsDiff(t, back), 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MatricizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ptucker

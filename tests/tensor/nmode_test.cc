@@ -1,0 +1,169 @@
+#include "tensor/nmode.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "tensor/index.h"
+#include "tensor/matricize.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+DenseTensor RandomTensor(const std::vector<std::int64_t>& dims,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  DenseTensor t(dims);
+  t.FillUniform(rng);
+  return t;
+}
+
+Matrix RandomMatrix(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  m.FillUniform(rng);
+  return m;
+}
+
+// Brute-force Eq. 2.
+double BruteForceModeProductEntry(const DenseTensor& x, const Matrix& u,
+                                  std::int64_t mode,
+                                  const std::int64_t* out_index) {
+  std::vector<std::int64_t> index(out_index, out_index + x.order());
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < x.dim(mode); ++i) {
+    index[static_cast<std::size_t>(mode)] = i;
+    sum += x.at(index.data()) * u(out_index[mode], i);
+  }
+  return sum;
+}
+
+TEST(ModeProductTest, MatchesBruteForceEq2) {
+  DenseTensor x = RandomTensor({3, 4, 2}, 1);
+  for (std::int64_t mode = 0; mode < 3; ++mode) {
+    Matrix u = RandomMatrix(5, x.dim(mode), 10 + mode);
+    DenseTensor y = ModeProduct(x, u, mode);
+    ASSERT_EQ(y.dim(mode), 5);
+    std::vector<std::int64_t> index(3);
+    for (std::int64_t linear = 0; linear < y.size(); ++linear) {
+      y.IndexOf(linear, index.data());
+      EXPECT_NEAR(y[linear],
+                  BruteForceModeProductEntry(x, u, mode, index.data()),
+                  1e-12);
+    }
+  }
+}
+
+TEST(ModeProductTest, UnfoldingIdentity) {
+  // (X ×n U)(n) = U · X(n), the defining property.
+  DenseTensor x = RandomTensor({4, 3, 2}, 2);
+  const std::int64_t mode = 1;
+  Matrix u = RandomMatrix(6, 3, 3);
+  DenseTensor y = ModeProduct(x, u, mode);
+  Matrix lhs = Matricize(y, mode);
+  Matrix rhs = MatMul(u, Matricize(x, mode));
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-12));
+}
+
+TEST(ModeProductTest, IdentityMatrixIsNoop) {
+  DenseTensor x = RandomTensor({3, 3, 3}, 4);
+  DenseTensor y = ModeProduct(x, Matrix::Identity(3), 1);
+  EXPECT_LT(MaxAbsDiff(x, y), 1e-15);
+}
+
+TEST(ModeProductTest, CommutesAcrossDistinctModes) {
+  DenseTensor x = RandomTensor({3, 4, 5}, 5);
+  Matrix u = RandomMatrix(2, 3, 6);
+  Matrix v = RandomMatrix(6, 5, 7);
+  DenseTensor a = ModeProduct(ModeProduct(x, u, 0), v, 2);
+  DenseTensor b = ModeProduct(ModeProduct(x, v, 2), u, 0);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-12);
+}
+
+TEST(ModeProductTest, SequentialSameModeComposes) {
+  // X ×n U ×n V = X ×n (V U).
+  DenseTensor x = RandomTensor({3, 4}, 8);
+  Matrix u = RandomMatrix(5, 4, 9);
+  Matrix v = RandomMatrix(2, 5, 10);
+  DenseTensor lhs = ModeProduct(ModeProduct(x, u, 1), v, 1);
+  DenseTensor rhs = ModeProduct(x, MatMul(v, u), 1);
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-12);
+}
+
+TEST(ModeProductChainTest, SkipModeLeavesDimension) {
+  DenseTensor x = RandomTensor({3, 4, 5}, 11);
+  std::vector<Matrix> mats = {RandomMatrix(2, 3, 12), RandomMatrix(2, 4, 13),
+                              RandomMatrix(2, 5, 14)};
+  DenseTensor y = ModeProductChain(x, mats, 1);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 4);
+  EXPECT_EQ(y.dim(2), 2);
+}
+
+TEST(SparseTtmChainTest, MatchesDenseComputation) {
+  // Sparse X (zeros elsewhere) -> TTMc must equal the dense chain's
+  // matricization.
+  Rng rng(15);
+  SparseTensor sparse({4, 3, 5});
+  DenseTensor dense({4, 3, 5});
+  for (int e = 0; e < 10; ++e) {
+    std::int64_t index[3] = {
+        static_cast<std::int64_t>(rng.UniformInt(4)),
+        static_cast<std::int64_t>(rng.UniformInt(3)),
+        static_cast<std::int64_t>(rng.UniformInt(5))};
+    const double value = rng.Normal();
+    dense.at(index) += value;  // duplicates accumulate in both versions
+    sparse.AddEntry(index, value);
+  }
+  std::vector<Matrix> factors = {RandomMatrix(4, 2, 16),
+                                 RandomMatrix(3, 2, 17),
+                                 RandomMatrix(5, 2, 18)};
+  for (std::int64_t mode = 0; mode < 3; ++mode) {
+    // Dense reference: X ×_{k≠mode} A(k)ᵀ then unfold.
+    std::vector<Matrix> transposed;
+    for (const auto& f : factors) transposed.push_back(f.Transposed());
+    DenseTensor chain = ModeProductChain(dense, transposed, mode);
+    Matrix expected = Matricize(chain, mode);
+    Matrix actual = SparseTtmChain(sparse, factors, mode);
+    EXPECT_TRUE(AllClose(actual, expected, 1e-10)) << "mode " << mode;
+  }
+}
+
+TEST(SparseTtmChainTest, ChargesTracker) {
+  SparseTensor sparse({10, 10, 10});
+  sparse.AddEntry({0, 0, 0}, 1.0);
+  std::vector<Matrix> factors = {Matrix(10, 3), Matrix(10, 3),
+                                 Matrix(10, 3)};
+  MemoryTracker tracker;
+  SparseTtmChain(sparse, factors, 0, &tracker);
+  // Y is 10 x 9 doubles.
+  EXPECT_GE(tracker.peak_bytes(), 10 * 9 * 8);
+  EXPECT_EQ(tracker.current_bytes(), 0);
+}
+
+TEST(SparseTtmChainTest, BudgetTriggersOom) {
+  SparseTensor sparse({1000, 1000, 1000});
+  sparse.AddEntry({0, 0, 0}, 1.0);
+  std::vector<Matrix> factors = {Matrix(1000, 10), Matrix(1000, 10),
+                                 Matrix(1000, 10)};
+  MemoryTracker tracker(1024);  // 1 KB: far below 1000x100 doubles
+  EXPECT_THROW(SparseTtmChain(sparse, factors, 0, &tracker),
+               OutOfMemoryBudget);
+}
+
+TEST(ReconstructTest, EntryMatchesDense) {
+  DenseTensor core = RandomTensor({2, 3, 2}, 19);
+  std::vector<Matrix> factors = {RandomMatrix(4, 2, 20),
+                                 RandomMatrix(5, 3, 21),
+                                 RandomMatrix(3, 2, 22)};
+  DenseTensor full = ReconstructDense(core, factors);
+  std::vector<std::int64_t> index(3);
+  for (std::int64_t linear = 0; linear < full.size(); ++linear) {
+    full.IndexOf(linear, index.data());
+    EXPECT_NEAR(full[linear], ReconstructEntry(core, factors, index.data()),
+                1e-11);
+  }
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,50 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace ptucker {
+namespace {
+
+TEST(FormatBytesTest, PlainBytes) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+}
+
+TEST(FormatBytesTest, Kilobytes) {
+  EXPECT_EQ(FormatBytes(1536), "1.50 KB");
+}
+
+TEST(FormatBytesTest, MegabytesAndUp) {
+  EXPECT_EQ(FormatBytes(std::int64_t{3} * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(FormatBytes(std::int64_t{5} * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(JoinIntsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinInts({1, 2, 3}, "x"), "1x2x3");
+  EXPECT_EQ(JoinInts({7}, ","), "7");
+  EXPECT_EQ(JoinInts({}, ","), "");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"method", "time"});
+  table.AddRow({"P-Tucker", "1.5"});
+  table.AddRow({"HOOI", "20.25"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| method   | time  |"), std::string::npos);
+  EXPECT_NE(out.find("| P-Tucker | 1.5   |"), std::string::npos);
+  EXPECT_NE(out.find("| HOOI     | 20.25 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter table({"a"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| a |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,66 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+
+namespace ptucker {
+namespace {
+
+TEST(LoggerTest, LevelFiltering) {
+  Logger& logger = Logger::Get();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kOff);
+  // Below-threshold logs must be swallowed without side effects.
+  PTUCKER_LOG(kDebug) << "invisible " << 42;
+  PTUCKER_LOG(kError) << "also invisible at kOff";
+  logger.set_level(LogLevel::kError);
+  EXPECT_EQ(logger.level(), LogLevel::kError);
+  logger.set_level(saved);
+}
+
+TEST(LoggerTest, SingletonIdentity) {
+  EXPECT_EQ(&Logger::Get(), &Logger::Get());
+}
+
+TEST(LoggerTest, StreamComposesTypes) {
+  Logger& logger = Logger::Get();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kOff);
+  // Must compile and run for mixed operand types.
+  PTUCKER_LOG(kInfo) << "x=" << 1.5 << " n=" << 7 << " s=" << std::string("t");
+  logger.set_level(saved);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  PTUCKER_CHECK(1 + 1 == 2);  // must not abort
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(PTUCKER_CHECK(false), "CHECK failed: false");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Busy loop a little; elapsed must be positive and monotone.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  const double first = watch.ElapsedSeconds();
+  EXPECT_GT(first, 0.0);
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  EXPECT_GE(watch.ElapsedSeconds(), first);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 1e3);  // same clock, looser bound
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink += static_cast<double>(i);
+  const double before = watch.ElapsedSeconds();
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace ptucker

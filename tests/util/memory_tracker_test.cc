@@ -1,0 +1,100 @@
+#include "util/memory_tracker.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ptucker {
+namespace {
+
+TEST(MemoryTrackerTest, ChargeAndRelease) {
+  MemoryTracker tracker;
+  tracker.Charge(100);
+  EXPECT_EQ(tracker.current_bytes(), 100);
+  tracker.Charge(50);
+  EXPECT_EQ(tracker.current_bytes(), 150);
+  tracker.Release(100);
+  EXPECT_EQ(tracker.current_bytes(), 50);
+}
+
+TEST(MemoryTrackerTest, PeakIsHighWaterMark) {
+  MemoryTracker tracker;
+  tracker.Charge(100);
+  tracker.Release(100);
+  tracker.Charge(60);
+  EXPECT_EQ(tracker.peak_bytes(), 100);
+  tracker.Charge(70);
+  EXPECT_EQ(tracker.peak_bytes(), 130);
+}
+
+TEST(MemoryTrackerTest, BudgetEnforced) {
+  MemoryTracker tracker(1000);
+  tracker.Charge(900);
+  EXPECT_THROW(tracker.Charge(200), OutOfMemoryBudget);
+  // The failed charge must not leak into the running total.
+  EXPECT_EQ(tracker.current_bytes(), 900);
+  tracker.Charge(100);  // exactly at budget is fine
+  EXPECT_EQ(tracker.current_bytes(), 1000);
+}
+
+TEST(MemoryTrackerTest, ExceptionCarriesDetails) {
+  MemoryTracker tracker(1000);
+  try {
+    tracker.Charge(1500);
+    FAIL() << "expected OutOfMemoryBudget";
+  } catch (const OutOfMemoryBudget& e) {
+    EXPECT_EQ(e.requested_bytes, 1500);
+    EXPECT_EQ(e.budget_bytes, 1000);
+  }
+}
+
+TEST(MemoryTrackerTest, UnlimitedWhenBudgetZero) {
+  MemoryTracker tracker(0);
+  EXPECT_NO_THROW(tracker.Charge(std::int64_t{1} << 50));
+}
+
+TEST(MemoryTrackerTest, ResetClearsCounters) {
+  MemoryTracker tracker(1000);
+  tracker.Charge(500);
+  tracker.Reset();
+  EXPECT_EQ(tracker.current_bytes(), 0);
+  EXPECT_EQ(tracker.peak_bytes(), 0);
+  EXPECT_EQ(tracker.budget_bytes(), 1000);
+}
+
+TEST(MemoryTrackerTest, ScopedChargeReleasesOnExit) {
+  MemoryTracker tracker;
+  {
+    ScopedCharge charge(&tracker, 123);
+    EXPECT_EQ(tracker.current_bytes(), 123);
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0);
+  EXPECT_EQ(tracker.peak_bytes(), 123);
+}
+
+TEST(MemoryTrackerTest, ScopedChargeNullTrackerIsNoop) {
+  ScopedCharge charge(nullptr, 1 << 20);  // must not crash
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargesBalance) {
+  MemoryTracker tracker;
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracker]() {
+      for (int i = 0; i < kIterations; ++i) {
+        tracker.Charge(8);
+        tracker.Release(8);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(tracker.current_bytes(), 0);
+  EXPECT_GE(tracker.peak_bytes(), 8);
+}
+
+}  // namespace
+}  // namespace ptucker

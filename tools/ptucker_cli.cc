@@ -1,0 +1,302 @@
+// ptucker_cli — command-line driver for the library.
+//
+// Decomposes a FROSTT `.tns` tensor with P-Tucker (or one of the
+// reimplemented baselines) and writes the factor matrices and core tensor
+// to an output directory.
+//
+// Typical usage:
+//   ptucker_cli --input ratings.tns --ranks 10,10,5 --output-dir model/
+//               --variant cache --max-iters 20 --test-fraction 0.1
+//
+//   ptucker_cli --selftest       # end-to-end smoke run on synthetic data
+//
+// Flags:
+//   --input PATH          input tensor (.tns, 1-based indices)
+//   --ranks J1,J2,...     core dimensionality per mode (or --rank J)
+//   --method NAME         ptucker (default) | hooi | shot | csf | wopt | cp
+//   --variant NAME        memory (default) | cache | approx  (ptucker only)
+//   --lambda X            L2 regularization (default 0.01)
+//   --max-iters N         maximum ALS iterations (default 20)
+//   --tolerance X         relative-error convergence (default 1e-4)
+//   --truncation-rate P   approx variant's p (default 0.2)
+//   --sample-rate P       entry-sampling extension, (0,1] (default 1.0)
+//   --threads T           OpenMP threads (default: all)
+//   --seed S              RNG seed (default 0x5eed)
+//   --test-fraction F     hold out F of the entries; report test RMSE
+//   --output-dir DIR      write factor_<n>.txt + core.tns there
+//   --update-core         enable the core-update extension
+//   --quiet               suppress per-iteration output
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "baselines/cp_als.h"
+#include "baselines/hooi.h"
+#include "baselines/shot.h"
+#include "baselines/tucker_csf.h"
+#include "baselines/tucker_wopt.h"
+#include "core/ptucker.h"
+#include "core/reconstruction.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "linalg/matrix_io.h"
+#include "tensor/io.h"
+#include "util/format.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ptucker;
+
+struct CliConfig {
+  std::string input;
+  std::string output_dir;
+  std::string method = "ptucker";
+  std::string variant = "memory";
+  std::vector<std::int64_t> ranks;
+  std::int64_t uniform_rank = 0;
+  double lambda = 0.01;
+  int max_iters = 20;
+  double tolerance = 1e-4;
+  double truncation_rate = 0.2;
+  double sample_rate = 1.0;
+  int threads = 0;
+  std::uint64_t seed = 0x5eedULL;
+  double test_fraction = 0.0;
+  bool update_core = false;
+  bool quiet = false;
+  bool selftest = false;
+};
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "ptucker_cli: %s\n", message.c_str());
+  std::fprintf(stderr, "run with --help for usage\n");
+  std::exit(2);
+}
+
+void PrintUsageAndExit() {
+  std::printf(
+      "usage: ptucker_cli --input X.tns --ranks J1,J2,... [options]\n"
+      "       ptucker_cli --selftest\n\n"
+      "methods:  ptucker (default) hooi shot csf wopt cp\n"
+      "variants: memory (default) cache approx\n"
+      "options:  --lambda --max-iters --tolerance --truncation-rate\n"
+      "          --sample-rate --threads --seed --test-fraction\n"
+      "          --output-dir --update-core --quiet\n");
+  std::exit(0);
+}
+
+std::vector<std::int64_t> ParseRanks(const std::string& spec) {
+  std::vector<std::int64_t> ranks;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (token.empty()) Fail("bad --ranks value: '" + spec + "'");
+    char* end = nullptr;
+    const long value = std::strtol(token.c_str(), &end, 10);
+    if (*end != '\0' || value < 1) {
+      Fail("bad rank '" + token + "' in --ranks");
+    }
+    ranks.push_back(value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ranks;
+}
+
+CliConfig ParseArgs(int argc, char** argv) {
+  CliConfig config;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) Fail(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") PrintUsageAndExit();
+    else if (arg == "--input") config.input = need_value(i);
+    else if (arg == "--output-dir") config.output_dir = need_value(i);
+    else if (arg == "--method") config.method = need_value(i);
+    else if (arg == "--variant") config.variant = need_value(i);
+    else if (arg == "--ranks") config.ranks = ParseRanks(need_value(i));
+    else if (arg == "--rank") config.uniform_rank = std::stoll(need_value(i));
+    else if (arg == "--lambda") config.lambda = std::stod(need_value(i));
+    else if (arg == "--max-iters") config.max_iters = std::stoi(need_value(i));
+    else if (arg == "--tolerance") config.tolerance = std::stod(need_value(i));
+    else if (arg == "--truncation-rate")
+      config.truncation_rate = std::stod(need_value(i));
+    else if (arg == "--sample-rate")
+      config.sample_rate = std::stod(need_value(i));
+    else if (arg == "--threads") config.threads = std::stoi(need_value(i));
+    else if (arg == "--seed") config.seed = std::stoull(need_value(i));
+    else if (arg == "--test-fraction")
+      config.test_fraction = std::stod(need_value(i));
+    else if (arg == "--update-core") config.update_core = true;
+    else if (arg == "--quiet") config.quiet = true;
+    else if (arg == "--selftest") config.selftest = true;
+    else Fail("unknown flag: " + arg);
+  }
+  return config;
+}
+
+void PrintTrace(const std::vector<IterationStats>& iterations, bool quiet) {
+  if (quiet) return;
+  std::printf("iter   error        secs     |G|\n");
+  for (const auto& it : iterations) {
+    std::printf("%4d   %-10.4f   %-6.3f   %lld\n", it.iteration, it.error,
+                it.seconds, static_cast<long long>(it.core_nnz));
+  }
+}
+
+void WriteModel(const TuckerFactorization& model,
+                const std::string& output_dir) {
+  std::filesystem::create_directories(output_dir);
+  for (std::size_t n = 0; n < model.factors.size(); ++n) {
+    WriteMatrix(output_dir + "/factor_" + std::to_string(n + 1) + ".txt",
+                model.factors[n]);
+  }
+  WriteTns(output_dir + "/core.tns", SparseFromDense(model.core));
+  std::printf("model written to %s (factor_1..%zu.txt, core.tns)\n",
+              output_dir.c_str(), model.factors.size());
+}
+
+int Run(const CliConfig& config) {
+  SparseTensor x;
+  if (config.selftest) {
+    Rng rng(7);
+    x = UniformSparseTensor({50, 40, 30}, 3000, rng);
+    std::printf("selftest: synthetic 50x40x30 tensor, 3000 nnz\n");
+  } else {
+    if (config.input.empty()) Fail("--input is required");
+    x = ReadTns(config.input);
+    x.BuildModeIndex();
+  }
+
+  std::vector<std::int64_t> ranks = config.ranks;
+  if (ranks.empty() && config.uniform_rank > 0) {
+    ranks.assign(static_cast<std::size_t>(x.order()), config.uniform_rank);
+  }
+  if (ranks.empty() && config.selftest) ranks = {4, 4, 4};
+  if (ranks.empty()) Fail("--ranks (or --rank) is required");
+  if (static_cast<std::int64_t>(ranks.size()) != x.order()) {
+    Fail("--ranks has " + std::to_string(ranks.size()) + " values but the "
+         "tensor has " + std::to_string(x.order()) + " modes");
+  }
+
+  std::printf("tensor: %s, %lld observed entries; ranks: %s; method: %s\n",
+              JoinInts(x.dims(), "x").c_str(),
+              static_cast<long long>(x.nnz()),
+              JoinInts(ranks, ",").c_str(), config.method.c_str());
+
+  // Optional hold-out split.
+  SparseTensor train = std::move(x);
+  SparseTensor test;
+  if (config.test_fraction > 0.0) {
+    Rng rng(config.seed ^ 0xabcdULL);
+    auto split = SplitObservedEntries(train, config.test_fraction, rng);
+    train = std::move(split.train);
+    test = std::move(split.test);
+    std::printf("split: %lld train / %lld test entries\n",
+                static_cast<long long>(train.nnz()),
+                static_cast<long long>(test.nnz()));
+  }
+
+  TuckerFactorization model;
+  double final_error = 0.0;
+  if (config.method == "ptucker") {
+    PTuckerOptions options;
+    options.core_dims = ranks;
+    options.lambda = config.lambda;
+    options.max_iterations = config.max_iters;
+    options.tolerance = config.tolerance;
+    options.truncation_rate = config.truncation_rate;
+    options.sample_rate = config.sample_rate;
+    options.num_threads = config.threads;
+    options.seed = config.seed;
+    options.update_core = config.update_core;
+    if (config.variant == "memory") {
+      options.variant = PTuckerVariant::kMemory;
+    } else if (config.variant == "cache") {
+      options.variant = PTuckerVariant::kCache;
+    } else if (config.variant == "approx") {
+      options.variant = PTuckerVariant::kApprox;
+    } else {
+      Fail("unknown --variant: " + config.variant);
+    }
+    PTuckerResult result = PTuckerDecompose(train, options);
+    PrintTrace(result.iterations, config.quiet);
+    model = std::move(result.model);
+    final_error = result.final_error;
+  } else if (config.method == "cp") {
+    CpOptions options;
+    options.rank = ranks.front();
+    options.lambda = config.lambda;
+    options.max_iterations = config.max_iters;
+    options.tolerance = config.tolerance;
+    options.seed = config.seed;
+    CpResult result = CpAlsDecompose(train, options);
+    PrintTrace(result.iterations, config.quiet);
+    model = result.ToTucker();
+    final_error = result.final_error;
+  } else {
+    HooiOptions hooi_options;
+    hooi_options.core_dims = ranks;
+    hooi_options.max_iterations = config.max_iters;
+    hooi_options.tolerance = config.tolerance;
+    hooi_options.seed = config.seed;
+    BaselineResult result;
+    if (config.method == "hooi") {
+      result = HooiDecompose(train, hooi_options);
+    } else if (config.method == "shot") {
+      ShotOptions shot_options;
+      static_cast<HooiOptions&>(shot_options) = hooi_options;
+      result = ShotDecompose(train, shot_options);
+    } else if (config.method == "csf") {
+      result = TuckerCsfDecompose(train, hooi_options);
+    } else if (config.method == "wopt") {
+      WoptOptions wopt_options;
+      wopt_options.core_dims = ranks;
+      wopt_options.max_iterations = config.max_iters;
+      wopt_options.tolerance = config.tolerance;
+      wopt_options.seed = config.seed;
+      result = TuckerWoptDecompose(train, wopt_options);
+    } else {
+      Fail("unknown --method: " + config.method);
+    }
+    PrintTrace(result.iterations, config.quiet);
+    model = std::move(result.model);
+    final_error = result.final_error;
+  }
+
+  std::printf("final reconstruction error (Eq. 5): %.6f\n", final_error);
+  if (test.nnz() > 0) {
+    std::printf("test RMSE on held-out entries:      %.6f\n",
+                TestRmse(test, model.core, model.factors));
+  }
+  if (!config.output_dir.empty()) WriteModel(model, config.output_dir);
+  if (config.selftest) {
+    // Sanity gates for the ctest integration run.
+    if (!(final_error > 0.0) || !(final_error < train.FrobeniusNorm())) {
+      std::fprintf(stderr, "selftest FAILED: implausible error\n");
+      return 1;
+    }
+    std::printf("selftest OK\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(ParseArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptucker_cli: error: %s\n", e.what());
+    return 1;
+  }
+}
