@@ -50,7 +50,7 @@ int main() {
     std::string hours_cell;
     for (std::int64_t hour :
          TopEntitiesForRelation(fit.model, relation, /*hour mode=*/3, 3)) {
-      const bool planted = planted_hours.contains(hour);
+      const bool planted = planted_hours.count(hour) != 0;
       hits += planted ? 1 : 0;
       ++totals;
       hours_cell += std::to_string(hour) + (planted ? "*(y) " : "(n) ");

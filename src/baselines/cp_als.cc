@@ -10,6 +10,7 @@
 #include "linalg/cholesky.h"
 #include "linalg/lu.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 
@@ -44,13 +45,12 @@ double CpReconstruct(const std::vector<Matrix>& factors,
 
 double CpError(const SparseTensor& x, const std::vector<Matrix>& factors,
                std::int64_t rank) {
-  double total = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : total)
-  for (std::int64_t e = 0; e < x.nnz(); ++e) {
+  // Deterministic combine order so fixed-seed solves are bit-reproducible.
+  const double total = DeterministicParallelSum(x.nnz(), [&](std::int64_t e) {
     const double residual =
         x.value(e) - CpReconstruct(factors, x.index(e), rank);
-    total += residual * residual;
-  }
+    return residual * residual;
+  });
   return std::sqrt(total);
 }
 

@@ -2,21 +2,21 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace ptucker {
 
 namespace {
 
 // Σ (X_α − x̂_α)² in parallel; the building block of both metrics.
+// Deterministic combine order so fixed-seed solves are bit-reproducible.
 double SquaredResidualSum(const SparseTensor& x, const CoreEntryList& core,
                           const std::vector<Matrix>& factors) {
-  double total = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : total)
-  for (std::int64_t e = 0; e < x.nnz(); ++e) {
+  return DeterministicParallelSum(x.nnz(), [&](std::int64_t e) {
     const double predicted = ReconstructFromList(core, factors, x.index(e));
     const double residual = x.value(e) - predicted;
-    total += residual * residual;
-  }
-  return total;
+    return residual * residual;
+  });
 }
 
 }  // namespace

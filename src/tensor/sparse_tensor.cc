@@ -62,8 +62,8 @@ void SparseTensor::BuildModeIndex() {
   mode_index_built_ = true;
 }
 
-std::span<const std::int64_t> SparseTensor::Slice(std::int64_t mode,
-                                                  std::int64_t i) const {
+Span<const std::int64_t> SparseTensor::Slice(std::int64_t mode,
+                                             std::int64_t i) const {
   PTUCKER_CHECK(mode_index_built_);
   const auto& ptr = slice_ptr_[static_cast<std::size_t>(mode)];
   const auto& ids = slice_entries_[static_cast<std::size_t>(mode)];

@@ -2,8 +2,9 @@
 #define PTUCKER_TENSOR_SPARSE_TENSOR_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
+
+#include "util/span.h"
 
 namespace ptucker {
 
@@ -71,7 +72,7 @@ class SparseTensor {
   bool has_mode_index() const { return mode_index_built_; }
 
   /// Entry ids in Ω(mode, i). Requires BuildModeIndex().
-  std::span<const std::int64_t> Slice(std::int64_t mode, std::int64_t i) const;
+  Span<const std::int64_t> Slice(std::int64_t mode, std::int64_t i) const;
 
   /// |Ω(mode, i)| without touching entry ids. Requires BuildModeIndex().
   std::int64_t SliceSize(std::int64_t mode, std::int64_t i) const;

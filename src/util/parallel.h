@@ -1,0 +1,46 @@
+#ifndef PTUCKER_UTIL_PARALLEL_H_
+#define PTUCKER_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ptucker {
+
+/// Sums `term(i)` for i in [0, n) in parallel with a run-to-run
+/// deterministic result for a fixed thread count: each thread accumulates
+/// its static contiguous block in index order, and the per-thread partials
+/// are combined sequentially in thread order.
+///
+/// A plain `reduction(+ : total)` is NOT deterministic — OpenMP combines
+/// the private partials in thread *completion* order, so floating-point
+/// sums differ between otherwise identical runs.
+template <typename TermFn>
+double DeterministicParallelSum(std::int64_t n, TermFn&& term) {
+#ifdef _OPENMP
+  std::vector<double> partials(
+      static_cast<std::size_t>(omp_get_max_threads()), 0.0);
+#pragma omp parallel
+  {
+    double local = 0.0;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) local += term(i);
+    partials[static_cast<std::size_t>(omp_get_thread_num())] = local;
+  }
+  double total = 0.0;
+  for (const double partial : partials) total += partial;
+  return total;
+#else
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) total += term(i);
+  return total;
+#endif
+}
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_UTIL_PARALLEL_H_

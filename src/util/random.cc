@@ -1,7 +1,6 @@
 #include "util/random.h"
 
 #include <cmath>
-#include <numbers>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -68,7 +67,8 @@ double Rng::Normal() {
   while (u1 <= 1e-300) u1 = Uniform();
   const double u2 = Uniform();
   const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * std::numbers::pi * u2;
+  constexpr double kPi = 3.14159265358979323846;
+  const double angle = 2.0 * kPi * u2;
   spare_normal_ = radius * std::sin(angle);
   has_spare_normal_ = true;
   return radius * std::cos(angle);
@@ -87,7 +87,7 @@ std::vector<std::int64_t> Rng::Sample(std::int64_t n, std::int64_t k) {
   for (std::int64_t j = n - k; j < n; ++j) {
     std::int64_t candidate =
         static_cast<std::int64_t>(UniformInt(static_cast<std::uint64_t>(j + 1)));
-    if (chosen.contains(candidate)) candidate = j;
+    if (chosen.count(candidate) != 0) candidate = j;
     chosen.insert(candidate);
     result.push_back(candidate);
   }

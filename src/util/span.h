@@ -1,0 +1,35 @@
+#ifndef PTUCKER_UTIL_SPAN_H_
+#define PTUCKER_UTIL_SPAN_H_
+
+#include <cstddef>
+
+namespace ptucker {
+
+/// Minimal C++17 stand-in for std::span (C++20): a non-owning view over a
+/// contiguous range. Covers the subset the codebase needs — iteration,
+/// indexing, size/empty.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_UTIL_SPAN_H_

@@ -1,0 +1,32 @@
+# CLI smoke test: run ptucker_cli end-to-end on a tiny synthetic tensor
+# (--selftest) and assert exit code 0 plus parseable output.
+#
+# Invoked by ctest as:
+#   cmake -DPTUCKER_CLI=<path> -P cli_smoke.cmake
+
+if(NOT PTUCKER_CLI)
+  message(FATAL_ERROR "PTUCKER_CLI not set")
+endif()
+
+execute_process(
+  COMMAND ${PTUCKER_CLI} --selftest --max-iters 5 --seed 42
+  OUTPUT_VARIABLE smoke_out
+  ERROR_VARIABLE smoke_err
+  RESULT_VARIABLE smoke_rc
+)
+
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR
+    "ptucker_cli --selftest exited with ${smoke_rc}\n"
+    "stdout:\n${smoke_out}\nstderr:\n${smoke_err}")
+endif()
+
+# The run must report a parseable final error line and the selftest gate.
+if(NOT smoke_out MATCHES "final reconstruction error \\(Eq\\. 5\\): [0-9]+\\.[0-9]+")
+  message(FATAL_ERROR "missing/unparseable final-error line in:\n${smoke_out}")
+endif()
+if(NOT smoke_out MATCHES "selftest OK")
+  message(FATAL_ERROR "missing 'selftest OK' in:\n${smoke_out}")
+endif()
+
+message(STATUS "cli_smoke passed")
