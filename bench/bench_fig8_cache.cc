@@ -25,9 +25,14 @@ int main() {
     options.core_dims = ranks;
     options.max_iterations = 3;
     options.tolerance = 0.0;
+    // Pin the paper's entry-major scan: Fig. 8 measures the cache trade
+    // against Algorithm 3 as published, not against the mode-major
+    // default (bench_delta_engines covers that comparison).
+    options.delta_engine = DeltaEngineChoice::kNaive;
     MethodOutcome memory_variant = RunPTucker(x, options);
 
     options.variant = PTuckerVariant::kCache;
+    options.delta_engine = DeltaEngineChoice::kAuto;
     MethodOutcome cache_variant = RunPTucker(x, options);
 
     table.AddRow({std::to_string(order), memory_variant.TimeCell(),

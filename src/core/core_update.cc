@@ -2,69 +2,36 @@
 
 #include <cmath>
 
+#include "core/delta_engine.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace ptucker {
 
 namespace {
 
-// Computes the per-(α, β) design coefficient Π_k A(k)(ik, jk).
-double DesignCoefficient(const CoreEntryList& core,
-                         const std::vector<Matrix>& factors,
-                         const std::int64_t* idx, std::int64_t b) {
-  const std::int64_t order = core.order();
-  const std::int32_t* beta = core.index(b);
-  double product = 1.0;
-  for (std::int64_t k = 0; k < order; ++k) {
-    product *= factors[static_cast<std::size_t>(k)](idx[k], beta[k]);
-  }
-  return product;
-}
-
-// y = P g (length |Ω|), streaming entries in parallel.
-void ApplyDesign(const SparseTensor& x, const CoreEntryList& core,
-                 const std::vector<Matrix>& factors,
+// y = P g (length |Ω|), streaming entries in parallel (independent rows).
+void ApplyDesign(const SparseTensor& x, const DeltaEngine& engine,
                  const std::vector<double>& g, std::vector<double>* y) {
-  const std::int64_t n_core = core.size();
 #pragma omp parallel for schedule(static)
   for (std::int64_t e = 0; e < x.nnz(); ++e) {
-    const std::int64_t* idx = x.index(e);
-    double sum = 0.0;
-    for (std::int64_t b = 0; b < n_core; ++b) {
-      sum += g[static_cast<std::size_t>(b)] *
-             DesignCoefficient(core, factors, idx, b);
-    }
-    (*y)[static_cast<std::size_t>(e)] = sum;
+    (*y)[static_cast<std::size_t>(e)] = engine.DesignDot(x.index(e), g.data());
   }
 }
 
-// z = Pᵀ y (length |G|), per-thread accumulation then merge.
-void ApplyDesignTransposed(const SparseTensor& x, const CoreEntryList& core,
-                           const std::vector<Matrix>& factors,
+// z = Pᵀ y (length |G|), per-thread accumulation merged in thread order
+// (deterministic, per the ROADMAP determinism note).
+void ApplyDesignTransposed(const SparseTensor& x, const DeltaEngine& engine,
                            const std::vector<double>& y,
                            std::vector<double>* z) {
-  const std::int64_t n_core = core.size();
-  std::fill(z->begin(), z->end(), 0.0);
-#pragma omp parallel
-  {
-    std::vector<double> local(static_cast<std::size_t>(n_core), 0.0);
-#pragma omp for schedule(static)
-    for (std::int64_t e = 0; e < x.nnz(); ++e) {
-      const std::int64_t* idx = x.index(e);
-      const double scale = y[static_cast<std::size_t>(e)];
-      if (scale == 0.0) continue;
-      for (std::int64_t b = 0; b < n_core; ++b) {
-        local[static_cast<std::size_t>(b)] +=
-            scale * DesignCoefficient(core, factors, idx, b);
-      }
-    }
-#pragma omp critical
-    {
-      for (std::int64_t b = 0; b < n_core; ++b) {
-        (*z)[static_cast<std::size_t>(b)] += local[static_cast<std::size_t>(b)];
-      }
-    }
-  }
+  DeterministicParallelVectorSum(
+      x.nnz(), z->size(), z->data(), [&] {
+        return [&engine, &x, &y](std::int64_t e, double* local) {
+          const double scale = y[static_cast<std::size_t>(e)];
+          if (scale == 0.0) return;
+          engine.DesignAccumulate(x.index(e), scale, local);
+        };
+      });
 }
 
 double VecDot(const std::vector<double>& a, const std::vector<double>& b) {
@@ -78,12 +45,14 @@ double VecDot(const std::vector<double>& a, const std::vector<double>& b) {
 void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
                       CoreEntryList* core_list,
                       const std::vector<Matrix>& factors, double lambda,
-                      int cg_iterations) {
+                      int cg_iterations, const DeltaEngine* engine) {
   PTUCKER_CHECK(core != nullptr && core_list != nullptr);
   const std::int64_t n_core = core_list->size();
   if (n_core == 0 || cg_iterations <= 0) return;
   const std::size_t core_count = static_cast<std::size_t>(n_core);
   const std::size_t entry_count = static_cast<std::size_t>(x.nnz());
+  const NaiveDeltaEngine fallback(*core_list, factors);
+  const DeltaEngine& design = engine != nullptr ? *engine : fallback;
 
   // Warm start from the current core values: CG then monotonically
   // improves the regularized objective.
@@ -94,13 +63,13 @@ void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
 
   // r = Pᵀ(x − P g) − λ g  (negative gradient of the objective / 2).
   std::vector<double> work_entries(entry_count);
-  ApplyDesign(x, *core_list, factors, g, &work_entries);
+  ApplyDesign(x, design, g, &work_entries);
   for (std::int64_t e = 0; e < x.nnz(); ++e) {
     work_entries[static_cast<std::size_t>(e)] =
         x.value(e) - work_entries[static_cast<std::size_t>(e)];
   }
   std::vector<double> residual(core_count);
-  ApplyDesignTransposed(x, *core_list, factors, work_entries, &residual);
+  ApplyDesignTransposed(x, design, work_entries, &residual);
   for (std::size_t b = 0; b < core_count; ++b) residual[b] -= lambda * g[b];
 
   std::vector<double> direction = residual;
@@ -110,8 +79,8 @@ void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
 
   for (int step = 0; step < cg_iterations && rho > threshold; ++step) {
     // q = (PᵀP + λI) d.
-    ApplyDesign(x, *core_list, factors, direction, &work_entries);
-    ApplyDesignTransposed(x, *core_list, factors, work_entries, &q);
+    ApplyDesign(x, design, direction, &work_entries);
+    ApplyDesignTransposed(x, design, work_entries, &q);
     for (std::size_t b = 0; b < core_count; ++b) {
       q[b] += lambda * direction[b];
     }

@@ -10,6 +10,8 @@
 
 namespace ptucker {
 
+class DeltaEngine;
+
 /// Extension of the paper (its future-work direction of improving the fit
 /// beyond a fixed random core): re-fits the nonzero core entries to the
 /// observed data by regularized least squares
@@ -23,10 +25,15 @@ namespace ptucker {
 /// Updates `core` (values at the existing nonzero pattern) and refreshes
 /// `core_list` in place. The loss (Eq. 6) never increases: CG starts from
 /// the current g, so every accepted iterate is at least as good.
+///
+/// The design-row products stream through `engine` when given (else an
+/// entry-major scan). The caller still owns the engine's consistency:
+/// invoke OnCoreValuesChanged() after this returns, since the list's
+/// values were refreshed.
 void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
                       CoreEntryList* core_list,
                       const std::vector<Matrix>& factors, double lambda,
-                      int cg_iterations);
+                      int cg_iterations, const DeltaEngine* engine = nullptr);
 
 }  // namespace ptucker
 

@@ -1,0 +1,495 @@
+#include "core/delta_engine.h"
+
+#include "util/logging.h"
+
+namespace ptucker {
+
+// ---------------------------------------------------------------------------
+// Base class: entry-major reference kernels shared by naive and cached.
+// ---------------------------------------------------------------------------
+
+double DeltaEngine::Reconstruct(const std::int64_t* entry_index) const {
+  return ReconstructFromList(core(), factors(), entry_index);
+}
+
+void DeltaEngine::ComputeProducts(const std::int64_t* entry_index,
+                                  double* products) const {
+  const CoreEntryList& list = core();
+  const std::vector<Matrix>& f = factors();
+  const std::int64_t order = list.order();
+  const std::int64_t n_entries = list.size();
+  for (std::int64_t b = 0; b < n_entries; ++b) {
+    const std::int32_t* beta = list.index(b);
+    double product = list.value(b);
+    for (std::int64_t k = 0; k < order; ++k) {
+      product *= f[static_cast<std::size_t>(k)](entry_index[k], beta[k]);
+    }
+    products[b] = product;
+  }
+}
+
+double DeltaEngine::DesignDot(const std::int64_t* entry_index,
+                              const double* g) const {
+  const CoreEntryList& list = core();
+  const std::vector<Matrix>& f = factors();
+  const std::int64_t order = list.order();
+  const std::int64_t n_entries = list.size();
+  double sum = 0.0;
+  for (std::int64_t b = 0; b < n_entries; ++b) {
+    const std::int32_t* beta = list.index(b);
+    double product = 1.0;
+    for (std::int64_t k = 0; k < order; ++k) {
+      product *= f[static_cast<std::size_t>(k)](entry_index[k], beta[k]);
+    }
+    sum += g[b] * product;
+  }
+  return sum;
+}
+
+void DeltaEngine::DesignAccumulate(const std::int64_t* entry_index,
+                                   double scale, double* z) const {
+  const CoreEntryList& list = core();
+  const std::vector<Matrix>& f = factors();
+  const std::int64_t order = list.order();
+  const std::int64_t n_entries = list.size();
+  for (std::int64_t b = 0; b < n_entries; ++b) {
+    const std::int32_t* beta = list.index(b);
+    double product = 1.0;
+    for (std::int64_t k = 0; k < order; ++k) {
+      product *= f[static_cast<std::size_t>(k)](entry_index[k], beta[k]);
+    }
+    z[b] += scale * product;
+  }
+}
+
+void DeltaEngine::OnFactorUpdated(std::int64_t mode, const Matrix& old_factor) {
+  (void)mode;
+  (void)old_factor;
+}
+
+void DeltaEngine::OnCoreEntriesRemoved(const std::vector<char>& removed) {
+  (void)removed;
+}
+
+// ---------------------------------------------------------------------------
+// NaiveDeltaEngine
+// ---------------------------------------------------------------------------
+
+void NaiveDeltaEngine::ComputeDelta(std::int64_t /*entry*/,
+                                    const std::int64_t* entry_index,
+                                    std::int64_t mode, double* delta) const {
+  ptucker::ComputeDelta(core(), factors(), entry_index, mode, delta);
+}
+
+// ---------------------------------------------------------------------------
+// ModeMajorDeltaEngine
+// ---------------------------------------------------------------------------
+
+ModeMajorDeltaEngine::ModeMajorDeltaEngine(const CoreEntryList& core,
+                                           const std::vector<Matrix>& factors,
+                                           MemoryTracker* tracker)
+    : DeltaEngine(core, factors), tracker_(tracker) {
+  PTUCKER_CHECK(core.order() >= 1 && core.order() <= kMaxOrder);
+  PTUCKER_CHECK(static_cast<std::int64_t>(factors.size()) == core.order());
+  // Charge before allocating, like the cache table, so an over-budget
+  // engine fails as OutOfMemoryBudget without building anything.
+  charged_bytes_ = ExpectedBytes();
+  if (tracker_ != nullptr) tracker_->Charge(charged_bytes_);
+  BuildViews();
+}
+
+ModeMajorDeltaEngine::~ModeMajorDeltaEngine() {
+  if (tracker_ != nullptr) tracker_->Release(charged_bytes_);
+}
+
+std::int64_t ModeMajorDeltaEngine::ExpectedBytes() const {
+  const std::int64_t order = core().order();
+  const std::int64_t n_entries = core().size();
+  std::int64_t bytes = 0;
+  for (std::int64_t n = 0; n < order; ++n) {
+    const std::int64_t rank = factors()[static_cast<std::size_t>(n)].cols();
+    bytes += static_cast<std::int64_t>(sizeof(std::int64_t)) * (rank + 1);
+    bytes += static_cast<std::int64_t>(sizeof(std::int32_t)) * n_entries *
+             (order - 1);
+    bytes += static_cast<std::int64_t>(sizeof(double)) * n_entries;
+    bytes += static_cast<std::int64_t>(sizeof(std::int32_t)) * n_entries;
+  }
+  return bytes;
+}
+
+void ModeMajorDeltaEngine::BuildViews() {
+  const CoreEntryList& list = core();
+  const std::int64_t order = list.order();
+  const std::int64_t n_entries = list.size();
+  const std::int64_t width = order - 1;
+
+  views_.assign(static_cast<std::size_t>(order), ModeView());
+  for (std::int64_t n = 0; n < order; ++n) {
+    ModeView& view = views_[static_cast<std::size_t>(n)];
+    const std::int64_t rank = factors()[static_cast<std::size_t>(n)].cols();
+
+    // Stable counting sort by β_n: group sizes, exclusive prefix, scatter
+    // in list order. Stability keeps per-group accumulation order equal to
+    // the naive scan's, so δ is bit-identical between the two engines.
+    view.offsets.assign(static_cast<std::size_t>(rank + 1), 0);
+    for (std::int64_t b = 0; b < n_entries; ++b) {
+      ++view.offsets[static_cast<std::size_t>(list.index(b)[n] + 1)];
+    }
+    for (std::int64_t j = 0; j < rank; ++j) {
+      view.offsets[static_cast<std::size_t>(j + 1)] +=
+          view.offsets[static_cast<std::size_t>(j)];
+    }
+
+    view.cols.resize(static_cast<std::size_t>(n_entries * width));
+    view.values.resize(static_cast<std::size_t>(n_entries));
+    view.list_pos.resize(static_cast<std::size_t>(n_entries));
+    std::vector<std::int64_t> cursor(view.offsets.begin(),
+                                     view.offsets.end() - 1);
+    for (std::int64_t b = 0; b < n_entries; ++b) {
+      const std::int32_t* beta = list.index(b);
+      const std::int64_t t = cursor[static_cast<std::size_t>(beta[n])]++;
+      std::int32_t* col = view.cols.data() + t * width;
+      std::int64_t w = 0;
+      for (std::int64_t k = 0; k < order; ++k) {
+        if (k == n) continue;
+        col[w++] = beta[k];
+      }
+      view.values[static_cast<std::size_t>(t)] = list.value(b);
+      view.list_pos[static_cast<std::size_t>(t)] =
+          static_cast<std::int32_t>(b);
+    }
+  }
+}
+
+namespace {
+
+// Gathers the factor-row base pointers for every mode except `skip`
+// (ascending mode order) and returns how many were written.
+inline std::int64_t GatherRows(const std::vector<Matrix>& factors,
+                               const std::int64_t* entry_index,
+                               std::int64_t order, std::int64_t skip,
+                               const double** rows) {
+  std::int64_t w = 0;
+  for (std::int64_t k = 0; k < order; ++k) {
+    if (k == skip) continue;
+    rows[w++] = factors[static_cast<std::size_t>(k)].Row(entry_index[k]);
+  }
+  return w;
+}
+
+// Σ over one group of the branch-free (N−1)-term products. Width-
+// specialized so the common orders (3- and 4-way tensors) fully unroll.
+inline double GroupSum(const double* values, const std::int32_t* cols,
+                       std::int64_t begin, std::int64_t end,
+                       std::int64_t width, const double* const* rows) {
+  double acc = 0.0;
+  switch (width) {
+    case 1: {
+      const double* r0 = rows[0];
+      for (std::int64_t t = begin; t < end; ++t) {
+        acc += values[t] * r0[cols[t]];
+      }
+      break;
+    }
+    case 2: {
+      const double* r0 = rows[0];
+      const double* r1 = rows[1];
+      const std::int32_t* col = cols + begin * 2;
+      for (std::int64_t t = begin; t < end; ++t, col += 2) {
+        acc += values[t] * r0[col[0]] * r1[col[1]];
+      }
+      break;
+    }
+    case 3: {
+      const double* r0 = rows[0];
+      const double* r1 = rows[1];
+      const double* r2 = rows[2];
+      const std::int32_t* col = cols + begin * 3;
+      for (std::int64_t t = begin; t < end; ++t, col += 3) {
+        acc += values[t] * r0[col[0]] * r1[col[1]] * r2[col[2]];
+      }
+      break;
+    }
+    default: {
+      const std::int32_t* col = cols + begin * width;
+      for (std::int64_t t = begin; t < end; ++t, col += width) {
+        double product = values[t];
+        for (std::int64_t w = 0; w < width; ++w) {
+          product *= rows[w][col[w]];
+        }
+        acc += product;
+      }
+      break;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+void ModeMajorDeltaEngine::ComputeDelta(std::int64_t /*entry*/,
+                                        const std::int64_t* entry_index,
+                                        std::int64_t mode,
+                                        double* delta) const {
+  const ModeView& view = views_[static_cast<std::size_t>(mode)];
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank =
+      factors()[static_cast<std::size_t>(mode)].cols();
+  const double* rows[kMaxOrder];
+  GatherRows(factors(), entry_index, order, mode, rows);
+  const double* values = view.values.data();
+  const std::int32_t* cols = view.cols.data();
+  for (std::int64_t j = 0; j < rank; ++j) {
+    delta[j] = GroupSum(values, cols, view.offsets[static_cast<std::size_t>(j)],
+                        view.offsets[static_cast<std::size_t>(j + 1)], width,
+                        rows);
+  }
+}
+
+double ModeMajorDeltaEngine::Reconstruct(
+    const std::int64_t* entry_index) const {
+  const ModeView& view = views_[0];
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank = factors()[0].cols();
+  const double* rows[kMaxOrder];
+  GatherRows(factors(), entry_index, order, /*skip=*/0, rows);
+  const double* coefficients = factors()[0].Row(entry_index[0]);
+  const double* values = view.values.data();
+  const std::int32_t* cols = view.cols.data();
+  double sum = 0.0;
+  for (std::int64_t j = 0; j < rank; ++j) {
+    const double coefficient = coefficients[j];
+    if (coefficient == 0.0) continue;  // group-level skip
+    sum += coefficient *
+           GroupSum(values, cols, view.offsets[static_cast<std::size_t>(j)],
+                    view.offsets[static_cast<std::size_t>(j + 1)], width,
+                    rows);
+  }
+  return sum;
+}
+
+void ModeMajorDeltaEngine::ComputeProducts(const std::int64_t* entry_index,
+                                           double* products) const {
+  const ModeView& view = views_[0];
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank = factors()[0].cols();
+  const double* rows[kMaxOrder];
+  GatherRows(factors(), entry_index, order, /*skip=*/0, rows);
+  const double* coefficients = factors()[0].Row(entry_index[0]);
+  for (std::int64_t j = 0; j < rank; ++j) {
+    const std::int64_t begin = view.offsets[static_cast<std::size_t>(j)];
+    const std::int64_t end = view.offsets[static_cast<std::size_t>(j + 1)];
+    const double coefficient = coefficients[j];
+    if (coefficient == 0.0) {  // group-level skip: every product is 0
+      for (std::int64_t t = begin; t < end; ++t) {
+        products[view.list_pos[static_cast<std::size_t>(t)]] = 0.0;
+      }
+      continue;
+    }
+    const std::int32_t* col = view.cols.data() + begin * width;
+    for (std::int64_t t = begin; t < end; ++t, col += width) {
+      // value · A(0) first, remaining modes ascending — the same multiply
+      // order as the entry-major scan, so products match it bit-for-bit.
+      double product = view.values[static_cast<std::size_t>(t)] * coefficient;
+      for (std::int64_t w = 0; w < width; ++w) {
+        product *= rows[w][col[w]];
+      }
+      products[view.list_pos[static_cast<std::size_t>(t)]] = product;
+    }
+  }
+}
+
+double ModeMajorDeltaEngine::DesignDot(const std::int64_t* entry_index,
+                                       const double* g) const {
+  const ModeView& view = views_[0];
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank = factors()[0].cols();
+  const double* rows[kMaxOrder];
+  GatherRows(factors(), entry_index, order, /*skip=*/0, rows);
+  const double* coefficients = factors()[0].Row(entry_index[0]);
+  double sum = 0.0;
+  for (std::int64_t j = 0; j < rank; ++j) {
+    const double coefficient = coefficients[j];
+    if (coefficient == 0.0) continue;  // group-level skip
+    const std::int64_t begin = view.offsets[static_cast<std::size_t>(j)];
+    const std::int64_t end = view.offsets[static_cast<std::size_t>(j + 1)];
+    const std::int32_t* col = view.cols.data() + begin * width;
+    double group = 0.0;
+    for (std::int64_t t = begin; t < end; ++t, col += width) {
+      double product = coefficient;
+      for (std::int64_t w = 0; w < width; ++w) {
+        product *= rows[w][col[w]];
+      }
+      group += g[view.list_pos[static_cast<std::size_t>(t)]] * product;
+    }
+    sum += group;
+  }
+  return sum;
+}
+
+void ModeMajorDeltaEngine::DesignAccumulate(const std::int64_t* entry_index,
+                                            double scale, double* z) const {
+  const ModeView& view = views_[0];
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank = factors()[0].cols();
+  const double* rows[kMaxOrder];
+  GatherRows(factors(), entry_index, order, /*skip=*/0, rows);
+  const double* coefficients = factors()[0].Row(entry_index[0]);
+  for (std::int64_t j = 0; j < rank; ++j) {
+    const double coefficient = coefficients[j];
+    if (coefficient == 0.0) continue;  // group-level skip: adds exact zeros
+    const std::int64_t begin = view.offsets[static_cast<std::size_t>(j)];
+    const std::int64_t end = view.offsets[static_cast<std::size_t>(j + 1)];
+    const std::int32_t* col = view.cols.data() + begin * width;
+    for (std::int64_t t = begin; t < end; ++t, col += width) {
+      double product = coefficient;
+      for (std::int64_t w = 0; w < width; ++w) {
+        product *= rows[w][col[w]];
+      }
+      z[view.list_pos[static_cast<std::size_t>(t)]] += scale * product;
+    }
+  }
+}
+
+void ModeMajorDeltaEngine::OnCoreValuesChanged() {
+  // Same sparsity pattern: only the value arrays need rewriting, through
+  // the stored grouped-position → list-id permutation. No re-sort.
+  const CoreEntryList& list = core();
+  for (ModeView& view : views_) {
+    for (std::size_t t = 0; t < view.values.size(); ++t) {
+      view.values[t] = list.value(view.list_pos[t]);
+    }
+  }
+}
+
+void ModeMajorDeltaEngine::OnCoreEntriesRemoved(
+    const std::vector<char>& removed) {
+  // The list compacted in place keeping order; do the same to each view.
+  // Old list ids map to new ids by counting the keeps before them.
+  const std::int64_t old_size = static_cast<std::int64_t>(removed.size());
+  std::vector<std::int32_t> new_id(static_cast<std::size_t>(old_size), -1);
+  std::int32_t next = 0;
+  for (std::int64_t b = 0; b < old_size; ++b) {
+    if (!removed[static_cast<std::size_t>(b)]) {
+      new_id[static_cast<std::size_t>(b)] = next++;
+    }
+  }
+  PTUCKER_CHECK(static_cast<std::int64_t>(next) == core().size());
+
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  for (std::int64_t n = 0; n < order; ++n) {
+    ModeView& view = views_[static_cast<std::size_t>(n)];
+    const std::int64_t rank = static_cast<std::int64_t>(view.offsets.size()) - 1;
+    std::int64_t write = 0;
+    for (std::int64_t j = 0; j < rank; ++j) {
+      const std::int64_t begin = view.offsets[static_cast<std::size_t>(j)];
+      const std::int64_t end = view.offsets[static_cast<std::size_t>(j + 1)];
+      view.offsets[static_cast<std::size_t>(j)] = write;
+      for (std::int64_t t = begin; t < end; ++t) {
+        const std::int32_t old_pos = view.list_pos[static_cast<std::size_t>(t)];
+        if (removed[static_cast<std::size_t>(old_pos)]) continue;
+        if (write != t) {
+          for (std::int64_t w = 0; w < width; ++w) {
+            view.cols[static_cast<std::size_t>(write * width + w)] =
+                view.cols[static_cast<std::size_t>(t * width + w)];
+          }
+          view.values[static_cast<std::size_t>(write)] =
+              view.values[static_cast<std::size_t>(t)];
+        }
+        view.list_pos[static_cast<std::size_t>(write)] =
+            new_id[static_cast<std::size_t>(old_pos)];
+        ++write;
+      }
+    }
+    view.offsets[static_cast<std::size_t>(rank)] = write;
+    view.cols.resize(static_cast<std::size_t>(write * width));
+    view.values.resize(static_cast<std::size_t>(write));
+    view.list_pos.resize(static_cast<std::size_t>(write));
+  }
+
+  // Shrinking never throws; release the difference.
+  const std::int64_t new_bytes = ExpectedBytes();
+  if (tracker_ != nullptr && new_bytes < charged_bytes_) {
+    tracker_->Release(charged_bytes_ - new_bytes);
+  }
+  charged_bytes_ = new_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// CachedDeltaEngine
+// ---------------------------------------------------------------------------
+
+CachedDeltaEngine::CachedDeltaEngine(const SparseTensor& x,
+                                     const CoreEntryList& core,
+                                     const std::vector<Matrix>& factors,
+                                     MemoryTracker* tracker)
+    : DeltaEngine(core, factors), x_(&x), tracker_(tracker),
+      table_(std::make_unique<CacheTable>(x, core, factors, tracker)) {}
+
+void CachedDeltaEngine::ComputeDelta(std::int64_t entry,
+                                     const std::int64_t* entry_index,
+                                     std::int64_t mode, double* delta) const {
+  if (entry < 0) {
+    // Coordinates outside the tensor the table was built over.
+    ptucker::ComputeDelta(core(), factors(), entry_index, mode, delta);
+    return;
+  }
+  table_->ComputeDeltaCached(core(), factors(), entry, entry_index, mode,
+                             delta);
+}
+
+void CachedDeltaEngine::OnFactorUpdated(std::int64_t mode,
+                                        const Matrix& old_factor) {
+  table_->UpdateAfterMode(*x_, core(), factors(), mode, old_factor);
+}
+
+void CachedDeltaEngine::OnCoreValuesChanged() { RebuildTable(); }
+
+void CachedDeltaEngine::OnCoreEntriesRemoved(
+    const std::vector<char>& removed) {
+  (void)removed;  // the table is dense in |G|; rebuild from the new list
+  RebuildTable();
+}
+
+void CachedDeltaEngine::RebuildTable() {
+  table_.reset();  // release the old charge before taking the new one
+  table_ = std::make_unique<CacheTable>(*x_, core(), factors(), tracker_);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+DeltaEngineChoice ResolveDeltaEngineChoice(const PTuckerOptions& options) {
+  if (options.delta_engine != DeltaEngineChoice::kAuto) {
+    return options.delta_engine;
+  }
+  return options.variant == PTuckerVariant::kCache
+             ? DeltaEngineChoice::kCached
+             : DeltaEngineChoice::kModeMajor;
+}
+
+std::unique_ptr<DeltaEngine> MakeDeltaEngine(
+    DeltaEngineChoice choice, const SparseTensor& x, const CoreEntryList& core,
+    const std::vector<Matrix>& factors, MemoryTracker* tracker) {
+  switch (choice) {
+    case DeltaEngineChoice::kNaive:
+      return std::make_unique<NaiveDeltaEngine>(core, factors);
+    case DeltaEngineChoice::kModeMajor:
+      return std::make_unique<ModeMajorDeltaEngine>(core, factors, tracker);
+    case DeltaEngineChoice::kCached:
+      return std::make_unique<CachedDeltaEngine>(x, core, factors, tracker);
+    case DeltaEngineChoice::kAuto:
+      break;
+  }
+  PTUCKER_CHECK(false && "MakeDeltaEngine: resolve kAuto first");
+  return nullptr;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,237 @@
+#ifndef PTUCKER_CORE_DELTA_ENGINE_H_
+#define PTUCKER_CORE_DELTA_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cache_table.h"
+#include "core/delta.h"
+#include "core/options.h"
+#include "linalg/matrix.h"
+#include "tensor/sparse_tensor.h"
+#include "util/memory_tracker.h"
+
+namespace ptucker {
+
+/// Owns every δ(n,α) (Eq. 12) and x̂_α (Eq. 4) computation of the solvers.
+///
+/// The β-scan over the nonzero core entries is the hottest loop in the
+/// library — P-Tucker's row update is O(|Ω|·N·|G|·N) around it — and the
+/// paper offers two layouts for it (the entry-major list of Algorithm 3
+/// and the Pres cache table of §III-C). This interface makes the layout
+/// pluggable so callers never special-case it:
+///
+///   - NaiveDeltaEngine     entry-major scan; the correctness oracle.
+///   - ModeMajorDeltaEngine per-mode regrouped core views; branch-free
+///                          contiguous inner products. The default.
+///   - CachedDeltaEngine    the §III-C Pres table behind the same calls.
+///
+/// Engines hold non-owning views of the core entry list and the factor
+/// matrices, which must outlive the engine. Factor *values* may change in
+/// place at any time (row-wise ALS does); structural changes to the core
+/// list must be announced through the On* hooks so engines with derived
+/// state (reordered views, the Pres table) stay consistent.
+///
+/// Adding a fourth engine (e.g. a tiled or GPU-style kernel) means
+/// subclassing, overriding ComputeDelta (and any of the optional bulk
+/// kernels worth specializing), handling the three hooks, and wiring a new
+/// enumerator through DeltaEngineChoice + MakeDeltaEngine.
+class DeltaEngine {
+ public:
+  DeltaEngine(const CoreEntryList& core, const std::vector<Matrix>& factors)
+      : core_(&core), factors_(&factors) {}
+  virtual ~DeltaEngine() = default;
+
+  DeltaEngine(const DeltaEngine&) = delete;
+  DeltaEngine& operator=(const DeltaEngine&) = delete;
+
+  virtual DeltaEngineChoice kind() const = 0;
+  virtual const char* name() const = 0;
+
+  /// δ(n,α) of Eq. 12 for the entry with coordinates `entry_index`:
+  /// delta[j] = Σ_{β∈G, βn=j} G_β Π_{k≠n} A(k)(ik, jk). `delta` holds
+  /// Jn = factors[mode].cols() doubles (overwritten). `entry` is the
+  /// observed-entry id in the tensor the engine was created over, or a
+  /// negative value for coordinates outside it.
+  virtual void ComputeDelta(std::int64_t entry,
+                            const std::int64_t* entry_index, std::int64_t mode,
+                            double* delta) const = 0;
+
+  /// Full reconstruction x̂_α (Eq. 4) at arbitrary coordinates.
+  virtual double Reconstruct(const std::int64_t* entry_index) const;
+
+  /// products[b] = c_αβ = G_β Π_k A(k)(ik, jk) for every core entry, in
+  /// list order — the per-pair terms of the partial error R(β) (Eq. 13).
+  virtual void ComputeProducts(const std::int64_t* entry_index,
+                               double* products) const;
+
+  /// Σ_b g[b] · Π_k A(k)(ik, jk) — one row of the core-update design
+  /// matrix P applied to `g` (list order). Note: excludes G_β.
+  virtual double DesignDot(const std::int64_t* entry_index,
+                           const double* g) const;
+
+  /// z[b] += scale · Π_k A(k)(ik, jk) — one row of Pᵀ applied to a scalar
+  /// (list order). Note: excludes G_β.
+  virtual void DesignAccumulate(const std::int64_t* entry_index, double scale,
+                                double* z) const;
+
+  /// True when OnFactorUpdated needs the pre-update factor values; callers
+  /// then snapshot the factor before running the mode's row updates.
+  virtual bool WantsFactorSnapshot() const { return false; }
+
+  /// Mode `mode`'s factor rows were rewritten (Algorithm 3 finished the
+  /// mode). `old_factor` holds the pre-update values when
+  /// WantsFactorSnapshot() is true, and may be empty otherwise.
+  virtual void OnFactorUpdated(std::int64_t mode, const Matrix& old_factor);
+
+  /// CoreEntryList::RefreshValues ran (same sparsity pattern, new values).
+  virtual void OnCoreValuesChanged() {}
+
+  /// CoreEntryList::Remove ran with `removed` flagging the *old* entry
+  /// ids; the list is already compacted.
+  virtual void OnCoreEntriesRemoved(const std::vector<char>& removed);
+
+  /// Bytes of engine-owned derived state (0 for the naive engine).
+  virtual std::int64_t ByteSize() const { return 0; }
+
+ protected:
+  const CoreEntryList& core() const { return *core_; }
+  const std::vector<Matrix>& factors() const { return *factors_; }
+
+ private:
+  const CoreEntryList* core_;
+  const std::vector<Matrix>* factors_;
+};
+
+/// Entry-major scan of the core list — exactly the free functions
+/// ComputeDelta / ReconstructFromList behind the engine interface. No
+/// derived state, so every hook is a no-op. Kept as the oracle the other
+/// engines are tested against.
+class NaiveDeltaEngine final : public DeltaEngine {
+ public:
+  using DeltaEngine::DeltaEngine;
+
+  DeltaEngineChoice kind() const override { return DeltaEngineChoice::kNaive; }
+  const char* name() const override { return "naive"; }
+
+  void ComputeDelta(std::int64_t entry, const std::int64_t* entry_index,
+                    std::int64_t mode, double* delta) const override;
+};
+
+/// Mode-major layout: one reordered copy of the core entries per mode,
+/// grouped by β_n with the mode-n column factored out into the group id.
+/// The inner product is branch-free (no `if (k == mode)`), reads the
+/// remaining N−1 column indices contiguously, and accumulates each
+/// delta[β_n] in a register per group instead of scattering. Kernels that
+/// carry the mode-n coefficient (Reconstruct, ComputeProducts, the design
+/// ops) skip a whole group when its row coefficient is zero.
+///
+/// The views cost Θ(N·|G|) extra memory, charged to the tracker for the
+/// engine's lifetime. They are maintained incrementally: RefreshValues
+/// only rewrites the value arrays through a stored permutation, and Remove
+/// compacts each view in place — neither re-sorts.
+class ModeMajorDeltaEngine final : public DeltaEngine {
+ public:
+  /// Charges the view bytes to `tracker` (throws OutOfMemoryBudget when
+  /// over budget) before building.
+  ModeMajorDeltaEngine(const CoreEntryList& core,
+                       const std::vector<Matrix>& factors,
+                       MemoryTracker* tracker);
+  ~ModeMajorDeltaEngine() override;
+
+  DeltaEngineChoice kind() const override {
+    return DeltaEngineChoice::kModeMajor;
+  }
+  const char* name() const override { return "modemajor"; }
+
+  void ComputeDelta(std::int64_t entry, const std::int64_t* entry_index,
+                    std::int64_t mode, double* delta) const override;
+  double Reconstruct(const std::int64_t* entry_index) const override;
+  void ComputeProducts(const std::int64_t* entry_index,
+                       double* products) const override;
+  double DesignDot(const std::int64_t* entry_index,
+                   const double* g) const override;
+  void DesignAccumulate(const std::int64_t* entry_index, double scale,
+                        double* z) const override;
+
+  void OnCoreValuesChanged() override;
+  void OnCoreEntriesRemoved(const std::vector<char>& removed) override;
+
+  std::int64_t ByteSize() const override { return charged_bytes_; }
+
+ private:
+  // Core entries of one mode, grouped by that mode's coordinate β_n.
+  // Group j spans [offsets[j], offsets[j+1]); within a group, entries keep
+  // list order, so per-group sums reassociate nothing vs the naive scan.
+  struct ModeView {
+    std::vector<std::int64_t> offsets;  // Jn + 1 group boundaries
+    std::vector<std::int32_t> cols;     // |G| × (N−1) β_k for k≠n, k asc.
+    std::vector<double> values;         // |G| grouped G_β
+    std::vector<std::int32_t> list_pos; // grouped position → list id
+  };
+
+  std::int64_t ExpectedBytes() const;
+  void BuildViews();
+
+  // Supported tensor order; the stack-resident factor-row pointer array in
+  // the hot kernels is sized by this.
+  static constexpr std::int64_t kMaxOrder = 32;
+
+  std::vector<ModeView> views_;
+  MemoryTracker* tracker_;
+  std::int64_t charged_bytes_ = 0;
+};
+
+/// The §III-C Pres table (CacheTable) behind the engine interface: δ by
+/// dividing the cached full product by the mode-n coefficient, with the
+/// after-mode rescale applied through the OnFactorUpdated hook. Core
+/// structure/value changes rebuild the table (the table is keyed by the
+/// entry pattern). Reconstruction and the design ops fall back to the
+/// entry-major scan — the table's time-for-memory trade only pays in δ.
+class CachedDeltaEngine final : public DeltaEngine {
+ public:
+  CachedDeltaEngine(const SparseTensor& x, const CoreEntryList& core,
+                    const std::vector<Matrix>& factors,
+                    MemoryTracker* tracker);
+
+  DeltaEngineChoice kind() const override { return DeltaEngineChoice::kCached; }
+  const char* name() const override { return "cache"; }
+
+  void ComputeDelta(std::int64_t entry, const std::int64_t* entry_index,
+                    std::int64_t mode, double* delta) const override;
+
+  bool WantsFactorSnapshot() const override { return true; }
+  void OnFactorUpdated(std::int64_t mode, const Matrix& old_factor) override;
+  void OnCoreValuesChanged() override;
+  void OnCoreEntriesRemoved(const std::vector<char>& removed) override;
+
+  std::int64_t ByteSize() const override { return table_->ByteSize(); }
+
+  const CacheTable& table() const { return *table_; }
+
+ private:
+  void RebuildTable();
+
+  const SparseTensor* x_;
+  MemoryTracker* tracker_;
+  std::unique_ptr<CacheTable> table_;
+};
+
+/// The engine a PTuckerOptions value actually asks for: an explicit
+/// delta_engine wins; kAuto maps kCache to kCached and everything else to
+/// kModeMajor. Never returns kAuto.
+DeltaEngineChoice ResolveDeltaEngineChoice(const PTuckerOptions& options);
+
+/// Builds the requested engine over `x`, `core` and `factors` (all
+/// outliving the engine). `choice` must not be kAuto — resolve it first.
+/// `x` and `tracker` may go unused depending on the engine.
+std::unique_ptr<DeltaEngine> MakeDeltaEngine(DeltaEngineChoice choice,
+                                             const SparseTensor& x,
+                                             const CoreEntryList& core,
+                                             const std::vector<Matrix>& factors,
+                                             MemoryTracker* tracker);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_CORE_DELTA_ENGINE_H_

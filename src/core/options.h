@@ -20,6 +20,20 @@ enum class PTuckerVariant {
   kApprox,
 };
 
+/// Which DeltaEngine implementation (core/delta_engine.h) computes δ
+/// (Eq. 12) and x̂ (Eq. 4) in the solver hot path.
+enum class DeltaEngineChoice {
+  /// Defer to the variant: kCache → kCached, everything else → kModeMajor.
+  kAuto,
+  /// Entry-major scan of the core list — the correctness oracle.
+  kNaive,
+  /// Per-mode regrouped core views with branch-free inner products — the
+  /// default hot path.
+  kModeMajor,
+  /// The §III-C Pres table behind the engine interface.
+  kCached,
+};
+
 /// OpenMP scheduling of the row updates (paper §III-D). The paper's
 /// "careful distribution of work" is dynamic scheduling; static is the
 /// naive baseline it is compared against (1.5x slower on MovieLens).
@@ -46,6 +60,10 @@ struct PTuckerOptions {
   double tolerance = 1e-4;
 
   PTuckerVariant variant = PTuckerVariant::kMemory;
+
+  /// δ-computation engine. kAuto lets the variant choose; an explicit
+  /// value overrides it (e.g. kNaive pins the oracle scan for debugging).
+  DeltaEngineChoice delta_engine = DeltaEngineChoice::kAuto;
 
   /// Truncation rate p per iteration (P-TUCKER-APPROX only). Paper: 0.2.
   double truncation_rate = 0.2;

@@ -8,9 +8,9 @@
 
 #include <omp.h>
 
-#include "core/cache_table.h"
 #include "core/core_update.h"
 #include "core/delta.h"
+#include "core/delta_engine.h"
 #include "core/orthogonalize.h"
 #include "core/reconstruction.h"
 #include "core/truncation.h"
@@ -179,11 +179,11 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
       (max_rank * max_rank + 3 * max_rank);
   ScopedCharge scratch_charge(tracker, scratch_bytes);
 
-  // P-TUCKER-CACHE: the Pres table (charged inside).
-  std::unique_ptr<CacheTable> cache;
-  if (options.variant == PTuckerVariant::kCache) {
-    cache = std::make_unique<CacheTable>(x, core_list, factors, tracker);
-  }
+  // The δ-computation engine (derived state charged inside): mode-major
+  // views by default, the §III-C Pres table for P-TUCKER-CACHE, or
+  // whatever options.delta_engine pins explicitly.
+  std::unique_ptr<DeltaEngine> engine = MakeDeltaEngine(
+      ResolveDeltaEngineChoice(options), x, core_list, factors, tracker);
 
   PTuckerResult result;
   double previous_error = std::numeric_limits<double>::infinity();
@@ -196,7 +196,9 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
       const std::int64_t rank =
           options.core_dims[static_cast<std::size_t>(mode)];
       Matrix old_factor;
-      if (cache != nullptr) old_factor = factors[static_cast<std::size_t>(mode)];
+      if (engine->WantsFactorSnapshot()) {
+        old_factor = factors[static_cast<std::size_t>(mode)];
+      }
 
       Matrix& factor = factors[static_cast<std::size_t>(mode)];
       const std::int64_t n_rows = x.dim(mode);
@@ -226,34 +228,23 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
           Rng sampler(subsample ? SampleStreamSeed(options.seed, iteration,
                                                    mode, row_index)
                                 : 0);
+          // δ, then the Eq. 10 / Eq. 11 accumulations, for one entry.
+          const auto accumulate_entry = [&](std::int64_t entry) {
+            engine->ComputeDelta(entry, x.index(entry), mode, delta.data());
+            SymmetricRank1Update(b, delta.data());               // Eq. 10
+            Axpy(x.value(entry), delta.data(), c.data(), rank);  // Eq. 11
+          };
           std::int64_t used = 0;
           for (const std::int64_t entry : slice) {
             if (subsample && sampler.Uniform() >= options.sample_rate) {
               continue;
             }
             ++used;
-            const std::int64_t* idx = x.index(entry);
-            if (cache != nullptr) {
-              cache->ComputeDeltaCached(core_list, factors, entry, idx, mode,
-                                        delta.data());
-            } else {
-              ComputeDelta(core_list, factors, idx, mode, delta.data());
-            }
-            SymmetricRank1Update(b, delta.data());          // Eq. 10
-            Axpy(x.value(entry), delta.data(), c.data(), rank);  // Eq. 11
+            accumulate_entry(entry);
           }
           if (subsample && used == 0) {
             // Keep every observed row anchored to at least one entry.
-            const std::int64_t entry = slice.front();
-            const std::int64_t* idx = x.index(entry);
-            if (cache != nullptr) {
-              cache->ComputeDeltaCached(core_list, factors, entry, idx, mode,
-                                        delta.data());
-            } else {
-              ComputeDelta(core_list, factors, idx, mode, delta.data());
-            }
-            SymmetricRank1Update(b, delta.data());
-            Axpy(x.value(entry), delta.data(), c.data(), rank);
+            accumulate_entry(slice.front());
           }
           for (std::int64_t j = 0; j < rank; ++j) b(j, j) += options.lambda;
           SolveRow(b, c.data(), new_row.data(), rank);      // Eq. 9
@@ -263,22 +254,18 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
         }
       }
 
-      if (cache != nullptr) {
-        cache->UpdateAfterMode(x, core_list, factors, mode, old_factor);
-      }
+      engine->OnFactorUpdated(mode, old_factor);
     }
 
     // --- Optional extension: re-fit the core to the observations. ---
     if (options.update_core) {
       UpdateCoreTensor(x, &core, &core_list, factors, options.lambda,
-                       options.core_update_cg_iterations);
-      if (cache != nullptr) {
-        cache = std::make_unique<CacheTable>(x, core_list, factors, tracker);
-      }
+                       options.core_update_cg_iterations, engine.get());
+      engine->OnCoreValuesChanged();
     }
 
     // --- Reconstruction error (Algorithm 2 line 4, Eq. 5). ---
-    const double error = ReconstructionError(x, core_list, factors);
+    const double error = ReconstructionError(x, *engine);
 
     IterationStats stats;
     stats.iteration = iteration;
@@ -301,7 +288,8 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
     // time, matching the paper's Fig. 9 accounting. ---
     if (options.variant == PTuckerVariant::kApprox && !is_last_iteration) {
       const std::int64_t removed = TruncateNoisyEntries(
-          x, &core, &core_list, factors, options.truncation_rate);
+          x, &core, &core_list, factors, options.truncation_rate,
+          engine.get());
       stats.core_nnz = core_list.size();
       if (options.verbose && removed > 0) {
         PTUCKER_LOG(kInfo) << "iteration " << iteration << ": truncated "

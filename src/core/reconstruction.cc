@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/delta_engine.h"
 #include "util/parallel.h"
 
 namespace ptucker {
@@ -10,10 +11,9 @@ namespace {
 
 // Σ (X_α − x̂_α)² in parallel; the building block of both metrics.
 // Deterministic combine order so fixed-seed solves are bit-reproducible.
-double SquaredResidualSum(const SparseTensor& x, const CoreEntryList& core,
-                          const std::vector<Matrix>& factors) {
+double SquaredResidualSum(const SparseTensor& x, const DeltaEngine& engine) {
   return DeterministicParallelSum(x.nnz(), [&](std::int64_t e) {
-    const double predicted = ReconstructFromList(core, factors, x.index(e));
+    const double predicted = engine.Reconstruct(x.index(e));
     const double residual = x.value(e) - predicted;
     return residual * residual;
   });
@@ -21,9 +21,14 @@ double SquaredResidualSum(const SparseTensor& x, const CoreEntryList& core,
 
 }  // namespace
 
+double ReconstructionError(const SparseTensor& x, const DeltaEngine& engine) {
+  return std::sqrt(SquaredResidualSum(x, engine));
+}
+
 double ReconstructionError(const SparseTensor& x, const CoreEntryList& core,
                            const std::vector<Matrix>& factors) {
-  return std::sqrt(SquaredResidualSum(x, core, factors));
+  const NaiveDeltaEngine engine(core, factors);
+  return ReconstructionError(x, engine);
 }
 
 double ReconstructionError(const SparseTensor& x, const DenseTensor& core,
@@ -31,11 +36,16 @@ double ReconstructionError(const SparseTensor& x, const DenseTensor& core,
   return ReconstructionError(x, CoreEntryList(core), factors);
 }
 
+double TestRmse(const SparseTensor& test, const DeltaEngine& engine) {
+  if (test.nnz() == 0) return 0.0;
+  return std::sqrt(SquaredResidualSum(test, engine) /
+                   static_cast<double>(test.nnz()));
+}
+
 double TestRmse(const SparseTensor& test, const CoreEntryList& core,
                 const std::vector<Matrix>& factors) {
-  if (test.nnz() == 0) return 0.0;
-  return std::sqrt(SquaredResidualSum(test, core, factors) /
-                   static_cast<double>(test.nnz()));
+  const NaiveDeltaEngine engine(core, factors);
+  return TestRmse(test, engine);
 }
 
 double TestRmse(const SparseTensor& test, const DenseTensor& core,
@@ -47,11 +57,12 @@ std::vector<double> PredictEntries(const SparseTensor& query,
                                    const DenseTensor& core,
                                    const std::vector<Matrix>& factors) {
   const CoreEntryList list(core);
+  const NaiveDeltaEngine engine(list, factors);
   std::vector<double> predictions(static_cast<std::size_t>(query.nnz()));
 #pragma omp parallel for schedule(static)
   for (std::int64_t e = 0; e < query.nnz(); ++e) {
     predictions[static_cast<std::size_t>(e)] =
-        ReconstructFromList(list, factors, query.index(e));
+        engine.Reconstruct(query.index(e));
   }
   return predictions;
 }

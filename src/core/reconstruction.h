@@ -10,9 +10,13 @@
 
 namespace ptucker {
 
+class DeltaEngine;
+
 /// Reconstruction error over observed entries (Eq. 5):
 /// √ Σ_{α∈Ω} (X_α − x̂_α)². Parallelized over entries with static
-/// scheduling (§III-D section 3).
+/// scheduling (§III-D section 3). Every overload routes x̂ through a
+/// DeltaEngine; the list/dense forms use the entry-major oracle.
+double ReconstructionError(const SparseTensor& x, const DeltaEngine& engine);
 double ReconstructionError(const SparseTensor& x, const CoreEntryList& core,
                            const std::vector<Matrix>& factors);
 
@@ -21,7 +25,10 @@ double ReconstructionError(const SparseTensor& x, const DenseTensor& core,
                            const std::vector<Matrix>& factors);
 
 /// Test root-mean-square error over the entries of `test` — the paper's
-/// missing-entry prediction metric (Fig. 11, right).
+/// missing-entry prediction metric (Fig. 11, right). The engine overload
+/// reconstructs arbitrary coordinates, so `test` need not be the tensor
+/// the engine was built over.
+double TestRmse(const SparseTensor& test, const DeltaEngine& engine);
 double TestRmse(const SparseTensor& test, const CoreEntryList& core,
                 const std::vector<Matrix>& factors);
 double TestRmse(const SparseTensor& test, const DenseTensor& core,

@@ -3,64 +3,53 @@
 #include <algorithm>
 #include <numeric>
 
-#include <omp.h>
-
+#include "core/delta_engine.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace ptucker {
 
-std::vector<double> ComputePartialErrors(
-    const SparseTensor& x, const CoreEntryList& core,
-    const std::vector<Matrix>& factors) {
+std::vector<double> ComputePartialErrors(const SparseTensor& x,
+                                         const CoreEntryList& core,
+                                         const std::vector<Matrix>& factors,
+                                         const DeltaEngine* engine) {
   const std::int64_t n_core = core.size();
-  const std::int64_t order = core.order();
-  std::vector<double> result(static_cast<std::size_t>(n_core), 0.0);
+  const std::size_t core_count = static_cast<std::size_t>(n_core);
+  std::vector<double> result(core_count, 0.0);
+  const NaiveDeltaEngine fallback(core, factors);
+  const DeltaEngine& delta_engine = engine != nullptr ? *engine : fallback;
 
-#pragma omp parallel
-  {
-    // Per-thread accumulators avoid atomics on the hot path.
-    std::vector<double> local(static_cast<std::size_t>(n_core), 0.0);
-    std::vector<double> products(static_cast<std::size_t>(n_core));
-
-#pragma omp for schedule(static)
-    for (std::int64_t e = 0; e < x.nnz(); ++e) {
-      const std::int64_t* idx = x.index(e);
-      // One pass computes every c_αβ and their sum x̂_α.
-      double reconstruction = 0.0;
-      for (std::int64_t b = 0; b < n_core; ++b) {
-        const std::int32_t* beta = core.index(b);
-        double product = core.value(b);
-        for (std::int64_t k = 0; k < order; ++k) {
-          product *= factors[static_cast<std::size_t>(k)](idx[k], beta[k]);
-        }
-        products[static_cast<std::size_t>(b)] = product;
-        reconstruction += product;
-      }
-      const double value = x.value(e);
-      const double residual = value - reconstruction;
-      for (std::int64_t b = 0; b < n_core; ++b) {
-        const double c = products[static_cast<std::size_t>(b)];
-        // (X−x̂)² − (X−x̂+c)² = −c·(c + 2(X−x̂)) — Eq. 13 in terms of the
-        // residual.
-        local[static_cast<std::size_t>(b)] -= c * (c + 2.0 * residual);
-      }
-    }
-
-#pragma omp critical
-    {
-      for (std::int64_t b = 0; b < n_core; ++b) {
-        result[static_cast<std::size_t>(b)] +=
-            local[static_cast<std::size_t>(b)];
-      }
-    }
-  }
+  // Per-thread accumulators merged in thread order (no atomics on the hot
+  // path, deterministic run-to-run for a fixed thread count).
+  DeterministicParallelVectorSum(
+      x.nnz(), core_count, result.data(), [&] {
+        // One pass computes every c_αβ and their sum x̂_α.
+        std::vector<double> products(core_count);
+        return [&delta_engine, &x, n_core,
+                products = std::move(products)](std::int64_t e,
+                                                double* local) mutable {
+          delta_engine.ComputeProducts(x.index(e), products.data());
+          double reconstruction = 0.0;
+          for (std::int64_t b = 0; b < n_core; ++b) {
+            reconstruction += products[static_cast<std::size_t>(b)];
+          }
+          const double residual = x.value(e) - reconstruction;
+          for (std::int64_t b = 0; b < n_core; ++b) {
+            const double c = products[static_cast<std::size_t>(b)];
+            // (X−x̂)² − (X−x̂+c)² = −c·(c + 2(X−x̂)) — Eq. 13 in terms of
+            // the residual.
+            local[b] -= c * (c + 2.0 * residual);
+          }
+        };
+      });
   return result;
 }
 
 std::int64_t TruncateNoisyEntries(const SparseTensor& x, DenseTensor* core,
                                   CoreEntryList* core_list,
                                   const std::vector<Matrix>& factors,
-                                  double truncation_rate) {
+                                  double truncation_rate,
+                                  DeltaEngine* engine) {
   PTUCKER_CHECK(truncation_rate >= 0.0 && truncation_rate < 1.0);
   const std::int64_t n_core = core_list->size();
   std::int64_t to_remove = static_cast<std::int64_t>(
@@ -69,7 +58,7 @@ std::int64_t TruncateNoisyEntries(const SparseTensor& x, DenseTensor* core,
   if (to_remove <= 0) return 0;
 
   const std::vector<double> partial_errors =
-      ComputePartialErrors(x, *core_list, factors);
+      ComputePartialErrors(x, *core_list, factors, engine);
 
   // Rank descending by R(β); nth_element is enough — Algorithm 4 only
   // needs the top-p set, not a full sort.
@@ -85,7 +74,9 @@ std::int64_t TruncateNoisyEntries(const SparseTensor& x, DenseTensor* core,
   for (std::int64_t r = 0; r < to_remove; ++r) {
     remove[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])] = 1;
   }
-  return core_list->Remove(remove, core);
+  const std::int64_t removed = core_list->Remove(remove, core);
+  if (engine != nullptr) engine->OnCoreEntriesRemoved(remove);
+  return removed;
 }
 
 }  // namespace ptucker

@@ -21,19 +21,27 @@ namespace ptucker {
 /// the fit — it is "noisy" — and the top-p fraction by R(β) is removed
 /// each iteration.
 
+class DeltaEngine;
+
 /// R(β) for every entry of `core`, in list order. O(|Ω|·|G|·N), parallel
-/// over observed entries.
+/// over observed entries with a deterministic (thread-ordered) merge. The
+/// per-(α,β) products come from `engine` when given, else from an
+/// entry-major scan.
 std::vector<double> ComputePartialErrors(const SparseTensor& x,
                                          const CoreEntryList& core,
-                                         const std::vector<Matrix>& factors);
+                                         const std::vector<Matrix>& factors,
+                                         const DeltaEngine* engine = nullptr);
 
 /// Removes the top-⌊p·|G|⌋ entries by R(β) from `core_list` and zeroes
 /// them in `core` (Algorithm 4). Always keeps at least one entry. Returns
-/// the number removed.
+/// the number removed. When `engine` is given it both scores the entries
+/// and is notified of the removal (OnCoreEntriesRemoved), keeping its
+/// derived state consistent with the compacted list.
 std::int64_t TruncateNoisyEntries(const SparseTensor& x, DenseTensor* core,
                                   CoreEntryList* core_list,
                                   const std::vector<Matrix>& factors,
-                                  double truncation_rate);
+                                  double truncation_rate,
+                                  DeltaEngine* engine = nullptr);
 
 }  // namespace ptucker
 

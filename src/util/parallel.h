@@ -41,6 +41,41 @@ double DeterministicParallelSum(std::int64_t n, TermFn&& term) {
 #endif
 }
 
+/// Vector-valued counterpart of DeterministicParallelSum: fills
+/// `out[0..width)` with Σ_i contribution(i), where each i adds into a
+/// width-sized accumulator. `make_worker()` runs once per thread and
+/// returns a callable `worker(i, double* local)` that may own per-thread
+/// scratch; workers accumulate their static contiguous index block into
+/// `local`, and the per-thread partials are combined sequentially in
+/// thread order — run-to-run deterministic for a fixed thread count,
+/// unlike an `omp critical` merge (completion order) or atomics.
+template <typename WorkerFactory>
+void DeterministicParallelVectorSum(std::int64_t n, std::size_t width,
+                                    double* out,
+                                    WorkerFactory&& make_worker) {
+#ifdef _OPENMP
+  std::vector<std::vector<double>> partials(
+      static_cast<std::size_t>(omp_get_max_threads()));
+#pragma omp parallel
+  {
+    auto& local = partials[static_cast<std::size_t>(omp_get_thread_num())];
+    local.assign(width, 0.0);
+    auto worker = make_worker();
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) worker(i, local.data());
+  }
+  for (std::size_t j = 0; j < width; ++j) out[j] = 0.0;
+  for (const auto& local : partials) {
+    if (local.empty()) continue;  // thread was not in the team
+    for (std::size_t j = 0; j < width; ++j) out[j] += local[j];
+  }
+#else
+  for (std::size_t j = 0; j < width; ++j) out[j] = 0.0;
+  auto worker = make_worker();
+  for (std::int64_t i = 0; i < n; ++i) worker(i, out);
+#endif
+}
+
 }  // namespace ptucker
 
 #endif  // PTUCKER_UTIL_PARALLEL_H_

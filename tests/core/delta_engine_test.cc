@@ -1,0 +1,414 @@
+// Equivalence and maintenance tests for the pluggable δ-engines: the
+// mode-major and cached engines must agree with the naive entry-major
+// oracle on every kernel, stay consistent through core-list mutations
+// (Remove, RefreshValues) and factor updates, and hold across thread
+// counts. Also pins the solver-level guarantees: all engines produce the
+// same trajectories, each bit-reproducibly.
+#include "core/delta_engine.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include "core/ptucker.h"
+#include "core/truncation.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+// Scopes omp_set_num_threads so a test can pin the team size.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads) : saved_(omp_get_max_threads()) {
+    omp_set_num_threads(threads);
+  }
+  ~ThreadCountGuard() { omp_set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+struct Ctx {
+  SparseTensor x;
+  DenseTensor core;
+  CoreEntryList list;
+  std::vector<Matrix> factors;
+};
+
+// order-many tensor dims / uniform core rank, with ~30% of the core
+// zeroed so the entry list is genuinely sparse and groups are ragged.
+Ctx MakeCtx(std::int64_t order, std::int64_t rank, std::uint64_t seed) {
+  Rng rng(seed);
+  Ctx s;
+  std::vector<std::int64_t> dims;
+  std::vector<std::int64_t> ranks;
+  for (std::int64_t k = 0; k < order; ++k) {
+    dims.push_back(12 - k);
+    ranks.push_back(rank);
+  }
+  s.x = UniformSparseTensor(dims, 150, rng);
+  s.core = DenseTensor(ranks);
+  s.core.FillUniform(rng);
+  for (std::int64_t linear = 0; linear < s.core.size(); ++linear) {
+    if (rng.Uniform() < 0.3) s.core[linear] = 0.0;
+  }
+  if (s.core.CountNonZeros() == 0) s.core[0] = 0.5;
+  s.list = CoreEntryList(s.core);
+  for (std::int64_t k = 0; k < order; ++k) {
+    Matrix factor(s.x.dim(k), rank);
+    factor.FillUniform(rng);
+    // Sprinkle exact zeros so the group-level skip and the cache's
+    // division fallback both execute.
+    for (std::int64_t i = 0; i < factor.rows(); ++i) {
+      for (std::int64_t j = 0; j < factor.cols(); ++j) {
+        if (rng.Uniform() < 0.1) factor(i, j) = 0.0;
+      }
+    }
+    s.factors.push_back(std::move(factor));
+  }
+  return s;
+}
+
+struct Engines {
+  NaiveDeltaEngine naive;
+  ModeMajorDeltaEngine mode_major;
+  CachedDeltaEngine cached;
+
+  explicit Engines(const Ctx& s)
+      : naive(s.list, s.factors),
+        mode_major(s.list, s.factors, nullptr),
+        cached(s.x, s.list, s.factors, nullptr) {}
+};
+
+// Asserts every engine kernel agrees with the naive oracle within 1e-12
+// over all observed entries.
+void ExpectEnginesAgree(const Ctx& s, const Engines& e) {
+  const std::int64_t order = s.x.order();
+  const std::int64_t n_core = s.list.size();
+  std::vector<double> g(static_cast<std::size_t>(n_core));
+  for (std::int64_t b = 0; b < n_core; ++b) {
+    g[static_cast<std::size_t>(b)] = 0.25 + 0.5 * static_cast<double>(b % 3);
+  }
+  for (std::int64_t entry = 0; entry < s.x.nnz(); ++entry) {
+    const std::int64_t* idx = s.x.index(entry);
+    for (std::int64_t mode = 0; mode < order; ++mode) {
+      const std::int64_t rank = s.core.dim(mode);
+      std::vector<double> expected(static_cast<std::size_t>(rank));
+      std::vector<double> actual(static_cast<std::size_t>(rank));
+      e.naive.ComputeDelta(entry, idx, mode, expected.data());
+      e.mode_major.ComputeDelta(entry, idx, mode, actual.data());
+      for (std::int64_t j = 0; j < rank; ++j) {
+        EXPECT_NEAR(actual[static_cast<std::size_t>(j)],
+                    expected[static_cast<std::size_t>(j)], 1e-12)
+            << "modemajor delta, entry " << entry << " mode " << mode;
+      }
+      e.cached.ComputeDelta(entry, idx, mode, actual.data());
+      for (std::int64_t j = 0; j < rank; ++j) {
+        EXPECT_NEAR(actual[static_cast<std::size_t>(j)],
+                    expected[static_cast<std::size_t>(j)], 1e-12)
+            << "cached delta, entry " << entry << " mode " << mode;
+      }
+      // The cached engine must also handle unknown coordinates.
+      e.cached.ComputeDelta(-1, idx, mode, actual.data());
+      for (std::int64_t j = 0; j < rank; ++j) {
+        EXPECT_NEAR(actual[static_cast<std::size_t>(j)],
+                    expected[static_cast<std::size_t>(j)], 1e-12)
+            << "cached fallback delta, entry " << entry << " mode " << mode;
+      }
+    }
+
+    const double expected_hat = e.naive.Reconstruct(idx);
+    EXPECT_NEAR(e.mode_major.Reconstruct(idx), expected_hat, 1e-12);
+    EXPECT_NEAR(e.cached.Reconstruct(idx), expected_hat, 1e-12);
+
+    std::vector<double> expected_products(static_cast<std::size_t>(n_core));
+    std::vector<double> actual_products(static_cast<std::size_t>(n_core));
+    e.naive.ComputeProducts(idx, expected_products.data());
+    e.mode_major.ComputeProducts(idx, actual_products.data());
+    for (std::int64_t b = 0; b < n_core; ++b) {
+      EXPECT_NEAR(actual_products[static_cast<std::size_t>(b)],
+                  expected_products[static_cast<std::size_t>(b)], 1e-12);
+    }
+
+    EXPECT_NEAR(e.mode_major.DesignDot(idx, g.data()),
+                e.naive.DesignDot(idx, g.data()), 1e-12);
+
+    std::vector<double> expected_z(static_cast<std::size_t>(n_core), 0.5);
+    std::vector<double> actual_z(static_cast<std::size_t>(n_core), 0.5);
+    e.naive.DesignAccumulate(idx, 1.5, expected_z.data());
+    e.mode_major.DesignAccumulate(idx, 1.5, actual_z.data());
+    for (std::int64_t b = 0; b < n_core; ++b) {
+      EXPECT_NEAR(actual_z[static_cast<std::size_t>(b)],
+                  expected_z[static_cast<std::size_t>(b)], 1e-12);
+    }
+  }
+}
+
+struct Param {
+  std::int64_t order;
+  std::int64_t rank;
+  int threads;
+};
+
+std::vector<Param> AllParams() {
+  std::vector<Param> params;
+  for (const std::int64_t order : {3, 4}) {
+    for (const std::int64_t rank : {2, 5}) {
+      for (const int threads : {1, 4, 13}) {
+        params.push_back({order, rank, threads});
+      }
+    }
+  }
+  return params;
+}
+
+class DeltaEngineEquivalence : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DeltaEngineEquivalence, AllKernelsMatchNaive) {
+  const Param p = GetParam();
+  ThreadCountGuard guard(p.threads);
+  Ctx s = MakeCtx(p.order, p.rank, 17 * static_cast<std::uint64_t>(p.order) +
+                                       static_cast<std::uint64_t>(p.rank));
+  Engines e(s);
+  ExpectEnginesAgree(s, e);
+}
+
+TEST_P(DeltaEngineEquivalence, ConsistentAfterRemove) {
+  const Param p = GetParam();
+  ThreadCountGuard guard(p.threads);
+  Ctx s = MakeCtx(p.order, p.rank, 31 * static_cast<std::uint64_t>(p.order) +
+                                       static_cast<std::uint64_t>(p.rank));
+  Engines e(s);
+
+  // Flag ~every 4th entry (always keeping at least one).
+  std::vector<char> remove(static_cast<std::size_t>(s.list.size()), 0);
+  for (std::int64_t b = 0; b + 1 < s.list.size(); b += 4) {
+    remove[static_cast<std::size_t>(b)] = 1;
+  }
+  s.list.Remove(remove, &s.core);
+  e.naive.OnCoreEntriesRemoved(remove);
+  e.mode_major.OnCoreEntriesRemoved(remove);
+  e.cached.OnCoreEntriesRemoved(remove);
+  ExpectEnginesAgree(s, e);
+}
+
+TEST_P(DeltaEngineEquivalence, ConsistentAfterRefreshValues) {
+  const Param p = GetParam();
+  ThreadCountGuard guard(p.threads);
+  Ctx s = MakeCtx(p.order, p.rank, 47 * static_cast<std::uint64_t>(p.order) +
+                                       static_cast<std::uint64_t>(p.rank));
+  Engines e(s);
+
+  // Rewrite the core values on the existing pattern.
+  std::vector<std::int64_t> index(static_cast<std::size_t>(s.core.order()));
+  for (std::int64_t b = 0; b < s.list.size(); ++b) {
+    const std::int32_t* beta = s.list.index(b);
+    for (std::int64_t k = 0; k < s.core.order(); ++k) {
+      index[static_cast<std::size_t>(k)] = beta[k];
+    }
+    s.core.at(index.data()) = 0.1 + 0.01 * static_cast<double>(b);
+  }
+  s.list.RefreshValues(s.core);
+  e.naive.OnCoreValuesChanged();
+  e.mode_major.OnCoreValuesChanged();
+  e.cached.OnCoreValuesChanged();
+  ExpectEnginesAgree(s, e);
+}
+
+TEST_P(DeltaEngineEquivalence, ConsistentAfterFactorUpdate) {
+  const Param p = GetParam();
+  ThreadCountGuard guard(p.threads);
+  Ctx s = MakeCtx(p.order, p.rank, 63 * static_cast<std::uint64_t>(p.order) +
+                                       static_cast<std::uint64_t>(p.rank));
+  Engines e(s);
+
+  const std::int64_t mode = s.x.order() - 1;
+  Matrix old_factor = s.factors[static_cast<std::size_t>(mode)];
+  Rng rng(99);
+  s.factors[static_cast<std::size_t>(mode)].FillUniform(rng);
+  e.naive.OnFactorUpdated(mode, old_factor);
+  e.mode_major.OnFactorUpdated(mode, old_factor);
+  e.cached.OnFactorUpdated(mode, old_factor);
+  ExpectEnginesAgree(s, e);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersRanksThreads, DeltaEngineEquivalence,
+    ::testing::ValuesIn(AllParams()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "order" + std::to_string(info.param.order) + "_rank" +
+             std::to_string(info.param.rank) + "_threads" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(DeltaEngineTest, ModeMajorDeltaIsBitIdenticalToNaive) {
+  // The mode-major layout preserves the naive scan's per-group operation
+  // order exactly, so δ must match bit-for-bit (not just within 1e-12).
+  Ctx s = MakeCtx(3, 5, 5);
+  Engines e(s);
+  for (std::int64_t entry = 0; entry < s.x.nnz(); ++entry) {
+    for (std::int64_t mode = 0; mode < 3; ++mode) {
+      const std::int64_t rank = s.core.dim(mode);
+      std::vector<double> expected(static_cast<std::size_t>(rank));
+      std::vector<double> actual(static_cast<std::size_t>(rank));
+      e.naive.ComputeDelta(entry, s.x.index(entry), mode, expected.data());
+      e.mode_major.ComputeDelta(entry, s.x.index(entry), mode, actual.data());
+      for (std::int64_t j = 0; j < rank; ++j) {
+        EXPECT_EQ(actual[static_cast<std::size_t>(j)],
+                  expected[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+}
+
+TEST(DeltaEngineTest, ModeMajorChargesAndReleasesTracker) {
+  Ctx s = MakeCtx(3, 5, 7);
+  MemoryTracker tracker;
+  {
+    ModeMajorDeltaEngine engine(s.list, s.factors, &tracker);
+    EXPECT_GT(tracker.current_bytes(), 0);
+    EXPECT_EQ(tracker.current_bytes(), engine.ByteSize());
+
+    // Removing entries shrinks the views and the charge with them.
+    const std::int64_t before = tracker.current_bytes();
+    std::vector<char> remove(static_cast<std::size_t>(s.list.size()), 0);
+    remove[0] = 1;
+    remove[1] = 1;
+    s.list.Remove(remove, &s.core);
+    engine.OnCoreEntriesRemoved(remove);
+    EXPECT_LT(tracker.current_bytes(), before);
+    EXPECT_EQ(tracker.current_bytes(), engine.ByteSize());
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0);
+}
+
+TEST(DeltaEngineTest, ModeMajorBudgetTriggersOom) {
+  Ctx s = MakeCtx(3, 5, 9);
+  MemoryTracker tracker(16);  // tiny budget
+  EXPECT_THROW(ModeMajorDeltaEngine(s.list, s.factors, &tracker),
+               OutOfMemoryBudget);
+}
+
+TEST(DeltaEngineTest, FactoryResolvesAutoFromVariant) {
+  PTuckerOptions options;
+  EXPECT_EQ(ResolveDeltaEngineChoice(options), DeltaEngineChoice::kModeMajor);
+  options.variant = PTuckerVariant::kCache;
+  EXPECT_EQ(ResolveDeltaEngineChoice(options), DeltaEngineChoice::kCached);
+  options.delta_engine = DeltaEngineChoice::kNaive;
+  EXPECT_EQ(ResolveDeltaEngineChoice(options), DeltaEngineChoice::kNaive);
+
+  Ctx s = MakeCtx(3, 2, 11);
+  const auto engine = MakeDeltaEngine(DeltaEngineChoice::kModeMajor, s.x,
+                                      s.list, s.factors, nullptr);
+  EXPECT_EQ(engine->kind(), DeltaEngineChoice::kModeMajor);
+  EXPECT_STREQ(engine->name(), "modemajor");
+}
+
+TEST(DeltaEngineTest, TruncationKeepsEnginesConsistent) {
+  // TruncateNoisyEntries must both score through the engine and notify it
+  // of the removal, so the compacted views still match the oracle.
+  Ctx s = MakeCtx(3, 5, 13);
+  ModeMajorDeltaEngine engine(s.list, s.factors, nullptr);
+  const std::int64_t removed =
+      TruncateNoisyEntries(s.x, &s.core, &s.list, s.factors, 0.3, &engine);
+  EXPECT_GT(removed, 0);
+  NaiveDeltaEngine oracle(s.list, s.factors);
+  for (std::int64_t entry = 0; entry < s.x.nnz(); ++entry) {
+    for (std::int64_t mode = 0; mode < 3; ++mode) {
+      const std::int64_t rank = s.core.dim(mode);
+      std::vector<double> expected(static_cast<std::size_t>(rank));
+      std::vector<double> actual(static_cast<std::size_t>(rank));
+      oracle.ComputeDelta(entry, s.x.index(entry), mode, expected.data());
+      engine.ComputeDelta(entry, s.x.index(entry), mode, actual.data());
+      for (std::int64_t j = 0; j < rank; ++j) {
+        EXPECT_NEAR(actual[static_cast<std::size_t>(j)],
+                    expected[static_cast<std::size_t>(j)], 1e-12);
+      }
+    }
+  }
+}
+
+// --- Solver-level guarantees across engines. ---
+
+PTuckerResult Solve(const SparseTensor& x, DeltaEngineChoice engine,
+                    PTuckerVariant variant = PTuckerVariant::kMemory,
+                    bool update_core = false) {
+  PTuckerOptions options;
+  options.core_dims = {3, 3, 3};
+  options.max_iterations = 5;
+  options.tolerance = 0.0;
+  options.delta_engine = engine;
+  options.variant = variant;
+  options.update_core = update_core;
+  return PTuckerDecompose(x, options);
+}
+
+class DeltaEngineTrajectories : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(21);
+    x_ = UniformSparseTensor({14, 12, 10}, 400, rng);
+  }
+  SparseTensor x_;
+};
+
+TEST_F(DeltaEngineTrajectories, AllEnginesProduceTheSameTrajectory) {
+  const PTuckerResult naive = Solve(x_, DeltaEngineChoice::kNaive);
+  const PTuckerResult mode_major = Solve(x_, DeltaEngineChoice::kModeMajor);
+  const PTuckerResult cached = Solve(x_, DeltaEngineChoice::kCached);
+  ASSERT_EQ(naive.iterations.size(), mode_major.iterations.size());
+  ASSERT_EQ(naive.iterations.size(), cached.iterations.size());
+  for (std::size_t i = 0; i < naive.iterations.size(); ++i) {
+    EXPECT_NEAR(mode_major.iterations[i].error, naive.iterations[i].error,
+                1e-7)
+        << "iter " << i;
+    EXPECT_NEAR(cached.iterations[i].error, naive.iterations[i].error, 1e-7)
+        << "iter " << i;
+  }
+}
+
+TEST_F(DeltaEngineTrajectories, EachEngineIsRunToRunDeterministic) {
+  for (const DeltaEngineChoice choice :
+       {DeltaEngineChoice::kNaive, DeltaEngineChoice::kModeMajor,
+        DeltaEngineChoice::kCached}) {
+    const PTuckerResult a = Solve(x_, choice);
+    const PTuckerResult b = Solve(x_, choice);
+    ASSERT_EQ(a.iterations.size(), b.iterations.size());
+    for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+      EXPECT_EQ(a.iterations[i].error, b.iterations[i].error)
+          << "engine " << static_cast<int>(choice) << " iter " << i;
+    }
+  }
+}
+
+TEST_F(DeltaEngineTrajectories, EnginesAgreeUnderApproxTruncation) {
+  const PTuckerResult naive =
+      Solve(x_, DeltaEngineChoice::kNaive, PTuckerVariant::kApprox);
+  const PTuckerResult mode_major =
+      Solve(x_, DeltaEngineChoice::kModeMajor, PTuckerVariant::kApprox);
+  ASSERT_EQ(naive.iterations.size(), mode_major.iterations.size());
+  for (std::size_t i = 0; i < naive.iterations.size(); ++i) {
+    EXPECT_NEAR(mode_major.iterations[i].error, naive.iterations[i].error,
+                1e-7);
+    EXPECT_EQ(mode_major.iterations[i].core_nnz, naive.iterations[i].core_nnz);
+  }
+}
+
+TEST_F(DeltaEngineTrajectories, EnginesAgreeUnderCoreUpdate) {
+  const PTuckerResult naive = Solve(x_, DeltaEngineChoice::kNaive,
+                                    PTuckerVariant::kMemory, true);
+  const PTuckerResult mode_major = Solve(x_, DeltaEngineChoice::kModeMajor,
+                                         PTuckerVariant::kMemory, true);
+  ASSERT_EQ(naive.iterations.size(), mode_major.iterations.size());
+  for (std::size_t i = 0; i < naive.iterations.size(); ++i) {
+    EXPECT_NEAR(mode_major.iterations[i].error, naive.iterations[i].error,
+                1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -15,6 +15,8 @@
 //   --ranks J1,J2,...     core dimensionality per mode (or --rank J)
 //   --method NAME         ptucker (default) | hooi | shot | csf | wopt | cp
 //   --variant NAME        memory (default) | cache | approx  (ptucker only)
+//   --delta-engine NAME   auto (default) | naive | modemajor | cache
+//                         (δ-computation engine; auto follows the variant)
 //   --lambda X            L2 regularization (default 0.01)
 //   --max-iters N         maximum ALS iterations (default 20)
 //   --tolerance X         relative-error convergence (default 1e-4)
@@ -56,6 +58,7 @@ struct CliConfig {
   std::string output_dir;
   std::string method = "ptucker";
   std::string variant = "memory";
+  std::string delta_engine = "auto";
   std::vector<std::int64_t> ranks;
   std::int64_t uniform_rank = 0;
   double lambda = 0.01;
@@ -83,9 +86,11 @@ void PrintUsageAndExit() {
       "       ptucker_cli --selftest\n\n"
       "methods:  ptucker (default) hooi shot csf wopt cp\n"
       "variants: memory (default) cache approx\n"
+      "engines:  --delta-engine auto (default) naive modemajor cache\n"
       "options:  --lambda --max-iters --tolerance --truncation-rate\n"
       "          --sample-rate --threads --seed --test-fraction\n"
-      "          --output-dir --update-core --quiet\n");
+      "          --output-dir --update-core --quiet\n"
+      "flags accept both '--flag value' and '--flag=value'\n");
   std::exit(0);
 }
 
@@ -112,17 +117,35 @@ std::vector<std::int64_t> ParseRanks(const std::string& spec) {
 
 CliConfig ParseArgs(int argc, char** argv) {
   CliConfig config;
+  // `--flag=value` is split into flag + inline value; `--flag value` reads
+  // the next argv slot.
+  std::string inline_value;
+  bool has_inline_value = false;
   auto need_value = [&](int& i) -> std::string {
+    if (has_inline_value) {
+      has_inline_value = false;
+      return inline_value;
+    }
     if (i + 1 >= argc) Fail(std::string("missing value for ") + argv[i]);
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    has_inline_value = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline_value = true;
+      }
+    }
     if (arg == "--help" || arg == "-h") PrintUsageAndExit();
     else if (arg == "--input") config.input = need_value(i);
     else if (arg == "--output-dir") config.output_dir = need_value(i);
     else if (arg == "--method") config.method = need_value(i);
     else if (arg == "--variant") config.variant = need_value(i);
+    else if (arg == "--delta-engine") config.delta_engine = need_value(i);
     else if (arg == "--ranks") config.ranks = ParseRanks(need_value(i));
     else if (arg == "--rank") config.uniform_rank = std::stoll(need_value(i));
     else if (arg == "--lambda") config.lambda = std::stod(need_value(i));
@@ -140,6 +163,7 @@ CliConfig ParseArgs(int argc, char** argv) {
     else if (arg == "--quiet") config.quiet = true;
     else if (arg == "--selftest") config.selftest = true;
     else Fail("unknown flag: " + arg);
+    if (has_inline_value) Fail("flag does not take a value: " + arg);
   }
   return config;
 }
@@ -227,6 +251,18 @@ int Run(const CliConfig& config) {
       options.variant = PTuckerVariant::kApprox;
     } else {
       Fail("unknown --variant: " + config.variant);
+    }
+    if (config.delta_engine == "auto") {
+      options.delta_engine = DeltaEngineChoice::kAuto;
+    } else if (config.delta_engine == "naive") {
+      options.delta_engine = DeltaEngineChoice::kNaive;
+    } else if (config.delta_engine == "modemajor") {
+      options.delta_engine = DeltaEngineChoice::kModeMajor;
+    } else if (config.delta_engine == "cache" ||
+               config.delta_engine == "cached") {
+      options.delta_engine = DeltaEngineChoice::kCached;
+    } else {
+      Fail("unknown --delta-engine: " + config.delta_engine);
     }
     PTuckerResult result = PTuckerDecompose(train, options);
     PrintTrace(result.iterations, config.quiet);
