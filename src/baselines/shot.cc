@@ -82,11 +82,15 @@ BaselineResult ShotDecompose(const SparseTensor& x,
   DenseTensor core(options.core_dims);
   double previous_error = std::numeric_limits<double>::infinity();
 
-  // Per-entry reconstruction error through the mode-major δ-engine: the
-  // dense core makes |G| = Π Jn, where the grouped branch-free scan pays
-  // the most. The engine's transient view bytes are NOT charged to the
-  // tracker: the benches report this baseline's "required memory" as
-  // S-HOT was published, and an error metric must not trip the budget.
+  // Per-entry reconstruction error through the mode-major δ-engine
+  // (docs/architecture.md): the dense core makes |G| = Π Jn, where the
+  // grouped branch-free scan pays the most. The core is recomputed from
+  // scratch every iteration (its sparsity pattern may change), so the
+  // engine cannot be kept alive across iterations via the mutation
+  // hooks; a fresh build is Θ(N·|G|) and cheap next to the scan itself.
+  // The engine's transient view bytes are NOT charged to the tracker:
+  // the benches report this baseline's "required memory" as S-HOT was
+  // published, and an error metric must not trip the budget.
   const auto model_error = [&]() {
     const CoreEntryList core_list(core);
     const ModeMajorDeltaEngine engine(core_list, factors, nullptr);

@@ -1,5 +1,9 @@
 #include "core/delta_engine.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 #include "util/logging.h"
 
 namespace ptucker {
@@ -59,6 +63,16 @@ void DeltaEngine::DesignAccumulate(const std::int64_t* entry_index,
       product *= f[static_cast<std::size_t>(k)](entry_index[k], beta[k]);
     }
     z[b] += scale * product;
+  }
+}
+
+void DeltaEngine::DeltaBatch(std::int64_t count, const std::int64_t* entries,
+                             const std::int64_t* const* entry_indices,
+                             std::int64_t mode, double* deltas) const {
+  const std::int64_t rank =
+      factors()[static_cast<std::size_t>(mode)].cols();
+  for (std::int64_t i = 0; i < count; ++i) {
+    ComputeDelta(entries[i], entry_indices[i], mode, deltas + i * rank);
   }
 }
 
@@ -231,18 +245,29 @@ void ModeMajorDeltaEngine::ComputeDelta(std::int64_t /*entry*/,
                                         const std::int64_t* entry_index,
                                         std::int64_t mode,
                                         double* delta) const {
-  const ModeView& view = views_[static_cast<std::size_t>(mode)];
+  ComputeDeltaGrouped(entry_index, mode, /*skip=*/nullptr, delta);
+}
+
+void ModeMajorDeltaEngine::ComputeDeltaGrouped(const std::int64_t* entry_index,
+                                               std::int64_t mode,
+                                               const char* skip,
+                                               double* delta) const {
+  const ModeView& v = view(mode);
   const std::int64_t order = core().order();
   const std::int64_t width = order - 1;
   const std::int64_t rank =
       factors()[static_cast<std::size_t>(mode)].cols();
   const double* rows[kMaxOrder];
   GatherRows(factors(), entry_index, order, mode, rows);
-  const double* values = view.values.data();
-  const std::int32_t* cols = view.cols.data();
+  const double* values = v.values.data();
+  const std::int32_t* cols = v.cols.data();
   for (std::int64_t j = 0; j < rank; ++j) {
-    delta[j] = GroupSum(values, cols, view.offsets[static_cast<std::size_t>(j)],
-                        view.offsets[static_cast<std::size_t>(j + 1)], width,
+    if (skip != nullptr && skip[j]) {
+      delta[j] = 0.0;  // the group's |G| mass is inside the ε budget
+      continue;
+    }
+    delta[j] = GroupSum(values, cols, v.offsets[static_cast<std::size_t>(j)],
+                        v.offsets[static_cast<std::size_t>(j + 1)], width,
                         rows);
   }
 }
@@ -422,6 +447,212 @@ void ModeMajorDeltaEngine::OnCoreEntriesRemoved(
 }
 
 // ---------------------------------------------------------------------------
+// AdaptiveDeltaEngine
+// ---------------------------------------------------------------------------
+
+AdaptiveDeltaEngine::AdaptiveDeltaEngine(const CoreEntryList& core,
+                                         const std::vector<Matrix>& factors,
+                                         MemoryTracker* tracker,
+                                         double epsilon)
+    : ModeMajorDeltaEngine(core, factors, tracker), epsilon_(epsilon) {
+  PTUCKER_CHECK(epsilon >= 0.0 && epsilon < 1.0);
+  RecomputeSkips();
+}
+
+void AdaptiveDeltaEngine::RecomputeSkips() {
+  const std::int64_t order = core().order();
+  skip_.assign(static_cast<std::size_t>(order), {});
+  for (std::int64_t n = 0; n < order; ++n) {
+    const ModeView& v = view(n);
+    const std::int64_t rank =
+        static_cast<std::int64_t>(v.offsets.size()) - 1;
+    std::vector<double> weight(static_cast<std::size_t>(rank), 0.0);
+    double total = 0.0;
+    for (std::int64_t j = 0; j < rank; ++j) {
+      double w = 0.0;
+      for (std::int64_t t = v.offsets[static_cast<std::size_t>(j)];
+           t < v.offsets[static_cast<std::size_t>(j + 1)]; ++t) {
+        w += std::fabs(v.values[static_cast<std::size_t>(t)]);
+      }
+      weight[static_cast<std::size_t>(j)] = w;
+      total += w;
+    }
+
+    // Greedy smallest-weight-first (index tie-break keeps the selection
+    // deterministic): skip groups while their cumulative magnitude stays
+    // within the ε fraction of the view's total. At ε = 0 only empty /
+    // zero-weight groups qualify, whose δ component is an exact 0 anyway —
+    // hence bit-identity with the mode-major engine.
+    std::vector<std::int64_t> by_weight(static_cast<std::size_t>(rank));
+    std::iota(by_weight.begin(), by_weight.end(), 0);
+    std::sort(by_weight.begin(), by_weight.end(),
+              [&](std::int64_t a, std::int64_t b) {
+                const double wa = weight[static_cast<std::size_t>(a)];
+                const double wb = weight[static_cast<std::size_t>(b)];
+                return wa != wb ? wa < wb : a < b;
+              });
+    std::vector<char>& skip = skip_[static_cast<std::size_t>(n)];
+    skip.assign(static_cast<std::size_t>(rank), 0);
+    const double budget = epsilon_ * total;
+    double cumulative = 0.0;
+    for (const std::int64_t j : by_weight) {
+      const double w = weight[static_cast<std::size_t>(j)];
+      if (cumulative + w > budget) break;  // heavier groups cannot fit
+      cumulative += w;
+      skip[static_cast<std::size_t>(j)] = 1;
+    }
+  }
+}
+
+void AdaptiveDeltaEngine::ComputeDelta(std::int64_t /*entry*/,
+                                       const std::int64_t* entry_index,
+                                       std::int64_t mode,
+                                       double* delta) const {
+  ComputeDeltaGrouped(entry_index, mode,
+                      skip_[static_cast<std::size_t>(mode)].data(), delta);
+}
+
+void AdaptiveDeltaEngine::OnCoreValuesChanged() {
+  ModeMajorDeltaEngine::OnCoreValuesChanged();
+  RecomputeSkips();
+}
+
+void AdaptiveDeltaEngine::OnCoreEntriesRemoved(
+    const std::vector<char>& removed) {
+  ModeMajorDeltaEngine::OnCoreEntriesRemoved(removed);
+  RecomputeSkips();
+}
+
+std::int64_t AdaptiveDeltaEngine::SkippedGroups(std::int64_t mode) const {
+  const std::vector<char>& skip = skip_[static_cast<std::size_t>(mode)];
+  std::int64_t count = 0;
+  for (const char s : skip) count += s != 0 ? 1 : 0;
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// TiledDeltaEngine
+// ---------------------------------------------------------------------------
+
+TiledDeltaEngine::TiledDeltaEngine(const CoreEntryList& core,
+                                   const std::vector<Matrix>& factors,
+                                   MemoryTracker* tracker,
+                                   std::int64_t tile_width)
+    : ModeMajorDeltaEngine(core, factors, tracker),
+      tile_(std::min<std::int64_t>(tile_width, kMaxTile)) {
+  PTUCKER_CHECK(tile_width >= 1);
+}
+
+void TiledDeltaEngine::DeltaBatch(std::int64_t count,
+                                  const std::int64_t* entries,
+                                  const std::int64_t* const* entry_indices,
+                                  std::int64_t mode, double* deltas) const {
+  (void)entries;  // the regrouped kernel only needs coordinates
+  const std::int64_t rank =
+      factors()[static_cast<std::size_t>(mode)].cols();
+  for (std::int64_t start = 0; start < count; start += tile_) {
+    const std::int64_t chunk = std::min(tile_, count - start);
+    TileKernel(entry_indices + start, chunk, mode, deltas + start * rank);
+  }
+}
+
+void TiledDeltaEngine::TileKernel(const std::int64_t* const* entry_indices,
+                                  std::int64_t count, std::int64_t mode,
+                                  double* deltas) const {
+  const ModeView& v = view(mode);
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank =
+      factors()[static_cast<std::size_t>(mode)].cols();
+  // Slot-major factor-row pointers: rows[w][i] is tile entry i's row for
+  // the w-th non-mode mode, so the width-specialized loops below index a
+  // contiguous pointer array per slot.
+  const double* rows[kMaxOrder][kMaxTile];
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t* idx = entry_indices[i];
+    std::int64_t w = 0;
+    for (std::int64_t k = 0; k < order; ++k) {
+      if (k == mode) continue;
+      rows[w++][i] = factors()[static_cast<std::size_t>(k)].Row(idx[k]);
+    }
+  }
+
+  const double* values = v.values.data();
+  const std::int32_t* cols = v.cols.data();
+  double acc[kMaxTile];
+  for (std::int64_t j = 0; j < rank; ++j) {
+    const std::int64_t begin = v.offsets[static_cast<std::size_t>(j)];
+    const std::int64_t end = v.offsets[static_cast<std::size_t>(j + 1)];
+    for (std::int64_t i = 0; i < count; ++i) acc[i] = 0.0;
+    // Each core entry's value/columns are loaded once and applied to the
+    // whole tile; the count-many accumulators are independent dependency
+    // chains, unlike the single running sum of the per-entry kernel. The
+    // per-entry multiply order (value · rows ascending) matches GroupSum,
+    // so every tile entry's δ is bit-identical to the mode-major scan.
+    switch (width) {
+      case 1: {
+        const double* const* r0 = rows[0];
+        for (std::int64_t t = begin; t < end; ++t) {
+          const double value = values[t];
+          const std::int32_t c0 = cols[t];
+          for (std::int64_t i = 0; i < count; ++i) {
+            acc[i] += value * r0[i][c0];
+          }
+        }
+        break;
+      }
+      case 2: {
+        const double* const* r0 = rows[0];
+        const double* const* r1 = rows[1];
+        const std::int32_t* col = cols + begin * 2;
+        for (std::int64_t t = begin; t < end; ++t, col += 2) {
+          const double value = values[t];
+          const std::int32_t c0 = col[0];
+          const std::int32_t c1 = col[1];
+          for (std::int64_t i = 0; i < count; ++i) {
+            acc[i] += value * r0[i][c0] * r1[i][c1];
+          }
+        }
+        break;
+      }
+      case 3: {
+        const double* const* r0 = rows[0];
+        const double* const* r1 = rows[1];
+        const double* const* r2 = rows[2];
+        const std::int32_t* col = cols + begin * 3;
+        for (std::int64_t t = begin; t < end; ++t, col += 3) {
+          const double value = values[t];
+          const std::int32_t c0 = col[0];
+          const std::int32_t c1 = col[1];
+          const std::int32_t c2 = col[2];
+          for (std::int64_t i = 0; i < count; ++i) {
+            acc[i] += value * r0[i][c0] * r1[i][c1] * r2[i][c2];
+          }
+        }
+        break;
+      }
+      default: {
+        const std::int32_t* col = cols + begin * width;
+        for (std::int64_t t = begin; t < end; ++t, col += width) {
+          const double value = values[t];
+          for (std::int64_t i = 0; i < count; ++i) {
+            double product = value;
+            for (std::int64_t w = 0; w < width; ++w) {
+              product *= rows[w][i][col[w]];
+            }
+            acc[i] += product;
+          }
+        }
+        break;
+      }
+    }
+    for (std::int64_t i = 0; i < count; ++i) {
+      deltas[i * rank + j] = acc[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // CachedDeltaEngine
 // ---------------------------------------------------------------------------
 
@@ -463,8 +694,53 @@ void CachedDeltaEngine::RebuildTable() {
 }
 
 // ---------------------------------------------------------------------------
-// Factory
+// Catalog + factory
 // ---------------------------------------------------------------------------
+
+namespace {
+
+// The one table every consumer reads: the CLI parser accepts exactly these
+// names/aliases and generates its --help engine list from the summaries,
+// so accepted spellings and documentation cannot drift apart.
+constexpr DeltaEngineDescriptor kDeltaEngineCatalog[] = {
+    {DeltaEngineChoice::kAuto, "auto", nullptr,
+     "follow the variant: cache variant -> Pres table, else modemajor"},
+    {DeltaEngineChoice::kNaive, "naive", nullptr,
+     "entry-major scan of the core list; the correctness oracle"},
+    {DeltaEngineChoice::kModeMajor, "modemajor", nullptr,
+     "per-mode regrouped core views, branch-free kernels (default)"},
+    {DeltaEngineChoice::kCached, "cache", "cached",
+     "the paper's Sec. III-C Pres table; O(1) delta per (alpha, beta)"},
+    {DeltaEngineChoice::kAdaptive, "adaptive", nullptr,
+     "modemajor + skip of low-|G| core groups under --adaptive-eps"},
+    {DeltaEngineChoice::kTiled, "tiled", nullptr,
+     "modemajor + batch kernel over tiles of --tile-width entries"},
+};
+
+}  // namespace
+
+Span<const DeltaEngineDescriptor> DeltaEngineCatalog() {
+  return {kDeltaEngineCatalog,
+          sizeof(kDeltaEngineCatalog) / sizeof(kDeltaEngineCatalog[0])};
+}
+
+const DeltaEngineDescriptor* FindDeltaEngineByName(const std::string& name) {
+  for (const DeltaEngineDescriptor& descriptor : DeltaEngineCatalog()) {
+    if (name == descriptor.name ||
+        (descriptor.alias != nullptr && name == descriptor.alias)) {
+      return &descriptor;
+    }
+  }
+  return nullptr;
+}
+
+const char* DeltaEngineChoiceName(DeltaEngineChoice choice) {
+  for (const DeltaEngineDescriptor& descriptor : DeltaEngineCatalog()) {
+    if (descriptor.choice == choice) return descriptor.name;
+  }
+  PTUCKER_CHECK(false && "DeltaEngineChoiceName: enumerator not in catalog");
+  return "";
+}
 
 DeltaEngineChoice ResolveDeltaEngineChoice(const PTuckerOptions& options) {
   if (options.delta_engine != DeltaEngineChoice::kAuto) {
@@ -477,7 +753,8 @@ DeltaEngineChoice ResolveDeltaEngineChoice(const PTuckerOptions& options) {
 
 std::unique_ptr<DeltaEngine> MakeDeltaEngine(
     DeltaEngineChoice choice, const SparseTensor& x, const CoreEntryList& core,
-    const std::vector<Matrix>& factors, MemoryTracker* tracker) {
+    const std::vector<Matrix>& factors, MemoryTracker* tracker,
+    double adaptive_epsilon, std::int64_t tile_width) {
   switch (choice) {
     case DeltaEngineChoice::kNaive:
       return std::make_unique<NaiveDeltaEngine>(core, factors);
@@ -485,6 +762,12 @@ std::unique_ptr<DeltaEngine> MakeDeltaEngine(
       return std::make_unique<ModeMajorDeltaEngine>(core, factors, tracker);
     case DeltaEngineChoice::kCached:
       return std::make_unique<CachedDeltaEngine>(x, core, factors, tracker);
+    case DeltaEngineChoice::kAdaptive:
+      return std::make_unique<AdaptiveDeltaEngine>(core, factors, tracker,
+                                                   adaptive_epsilon);
+    case DeltaEngineChoice::kTiled:
+      return std::make_unique<TiledDeltaEngine>(core, factors, tracker,
+                                                tile_width);
     case DeltaEngineChoice::kAuto:
       break;
   }

@@ -1,8 +1,14 @@
+/// \file
+/// \brief The pluggable δ-computation layer: every δ(n,α) (Eq. 12) and
+/// x̂_α (Eq. 4) in the solvers flows through a DeltaEngine, selected by
+/// PTuckerOptions::delta_engine. See docs/architecture.md for the layer
+/// overview and the walkthrough for adding an engine.
 #ifndef PTUCKER_CORE_DELTA_ENGINE_H_
 #define PTUCKER_CORE_DELTA_ENGINE_H_
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cache_table.h"
@@ -11,6 +17,7 @@
 #include "linalg/matrix.h"
 #include "tensor/sparse_tensor.h"
 #include "util/memory_tracker.h"
+#include "util/span.h"
 
 namespace ptucker {
 
@@ -26,6 +33,10 @@ namespace ptucker {
 ///   - ModeMajorDeltaEngine per-mode regrouped core views; branch-free
 ///                          contiguous inner products. The default.
 ///   - CachedDeltaEngine    the §III-C Pres table behind the same calls.
+///   - AdaptiveDeltaEngine  mode-major views + VeST-style group skipping
+///                          under an error budget ε (exact at ε = 0).
+///   - TiledDeltaEngine     mode-major views + a native B-wide DeltaBatch
+///                          kernel (cuFasterTucker-style batching).
 ///
 /// Engines hold non-owning views of the core entry list and the factor
 /// matrices, which must outlive the engine. Factor *values* may change in
@@ -33,10 +44,12 @@ namespace ptucker {
 /// list must be announced through the On* hooks so engines with derived
 /// state (reordered views, the Pres table) stay consistent.
 ///
-/// Adding a fourth engine (e.g. a tiled or GPU-style kernel) means
-/// subclassing, overriding ComputeDelta (and any of the optional bulk
-/// kernels worth specializing), handling the three hooks, and wiring a new
-/// enumerator through DeltaEngineChoice + MakeDeltaEngine.
+/// Adding another engine (e.g. a SIMD or GPU kernel) means subclassing
+/// (DeltaEngine directly, or ModeMajorDeltaEngine to inherit the regrouped
+/// views), overriding ComputeDelta and/or DeltaBatch (plus any optional
+/// bulk kernels worth specializing), handling the three hooks, and wiring
+/// a new enumerator through DeltaEngineChoice + DeltaEngineCatalog() +
+/// MakeDeltaEngine. See docs/architecture.md for the full walkthrough.
 class DeltaEngine {
  public:
   DeltaEngine(const CoreEntryList& core, const std::vector<Matrix>& factors)
@@ -57,6 +70,23 @@ class DeltaEngine {
   virtual void ComputeDelta(std::int64_t entry,
                             const std::int64_t* entry_index, std::int64_t mode,
                             double* delta) const = 0;
+
+  /// Batch δ: deltas for a tile of `count` entries against the same mode,
+  /// written contiguously (`deltas[i·Jn .. (i+1)·Jn)` belongs to tile
+  /// entry i). `entries[i]` and `entry_indices[i]` follow the ComputeDelta
+  /// conventions. The base implementation is a per-entry loop, so every
+  /// engine supports the batch call and consumers can be rewired to it
+  /// incrementally; TiledDeltaEngine overrides it with a kernel that
+  /// streams each core group once per tile instead of once per entry.
+  /// Per-entry results are identical to `count` ComputeDelta calls.
+  virtual void DeltaBatch(std::int64_t count, const std::int64_t* entries,
+                          const std::int64_t* const* entry_indices,
+                          std::int64_t mode, double* deltas) const;
+
+  /// Tile width DeltaBatch callers should aim for: >1 only when the
+  /// engine has a kernel that actually amortizes work across the tile.
+  /// Callers may pass any count regardless — engines chunk internally.
+  virtual std::int64_t PreferredBatch() const { return 1; }
 
   /// Full reconstruction x̂_α (Eq. 4) at arbitrary coordinates.
   virtual double Reconstruct(const std::int64_t* entry_index) const;
@@ -131,7 +161,11 @@ class NaiveDeltaEngine final : public DeltaEngine {
 /// engine's lifetime. They are maintained incrementally: RefreshValues
 /// only rewrites the value arrays through a stored permutation, and Remove
 /// compacts each view in place — neither re-sorts.
-class ModeMajorDeltaEngine final : public DeltaEngine {
+///
+/// Subclassable: AdaptiveDeltaEngine and TiledDeltaEngine build on the
+/// same regrouped views (exposed to them as protected state) and inherit
+/// every kernel they do not specialize.
+class ModeMajorDeltaEngine : public DeltaEngine {
  public:
   /// Charges the view bytes to `tracker` (throws OutOfMemoryBudget when
   /// over budget) before building.
@@ -160,7 +194,7 @@ class ModeMajorDeltaEngine final : public DeltaEngine {
 
   std::int64_t ByteSize() const override { return charged_bytes_; }
 
- private:
+ protected:
   // Core entries of one mode, grouped by that mode's coordinate β_n.
   // Group j spans [offsets[j], offsets[j+1]); within a group, entries keep
   // list order, so per-group sums reassociate nothing vs the naive scan.
@@ -171,16 +205,111 @@ class ModeMajorDeltaEngine final : public DeltaEngine {
     std::vector<std::int32_t> list_pos; // grouped position → list id
   };
 
+  // Supported tensor order; the stack-resident factor-row pointer arrays
+  // in the hot kernels are sized by this.
+  static constexpr std::int64_t kMaxOrder = 32;
+
+  const ModeView& view(std::int64_t mode) const {
+    return views_[static_cast<std::size_t>(mode)];
+  }
+
+  /// The δ kernel over mode `mode`'s regrouped view, honoring an optional
+  /// per-group skip vector (`nullptr` computes every group; a skipped
+  /// group's component is written as 0). Shared by ComputeDelta and the
+  /// adaptive engine so the hot kernel exists exactly once.
+  void ComputeDeltaGrouped(const std::int64_t* entry_index, std::int64_t mode,
+                           const char* skip, double* delta) const;
+
+ private:
   std::int64_t ExpectedBytes() const;
   void BuildViews();
-
-  // Supported tensor order; the stack-resident factor-row pointer array in
-  // the hot kernels is sized by this.
-  static constexpr std::int64_t kMaxOrder = 32;
 
   std::vector<ModeView> views_;
   MemoryTracker* tracker_;
   std::int64_t charged_bytes_ = 0;
+};
+
+/// VeST-style sparsity-adaptive engine (Park et al., PAPERS.md): the
+/// mode-major regrouped views plus, per view, a skip flag for the groups
+/// whose cumulative magnitude Σ|G_β| falls under the error budget
+/// ε · Σ_β |G_β| (greedy smallest-weight-first). ComputeDelta writes 0 for
+/// skipped groups and never streams them, so the δ-sweep drops roughly an
+/// ε fraction of its inner products; the absolute error of each skipped
+/// component is bounded by its group weight times the product of the
+/// largest participating factor magnitudes. Every other kernel
+/// (Reconstruct, ComputeProducts, the design ops) stays exact so error
+/// metrics and truncation scores are never degraded. At ε = 0 nothing
+/// with nonzero weight is skipped and δ is bit-identical to the
+/// mode-major engine. Skip flags are recomputed whenever the core list
+/// changes (RefreshValues / Remove).
+class AdaptiveDeltaEngine final : public ModeMajorDeltaEngine {
+ public:
+  /// `epsilon` must be in [0, 1) — the fraction of total core magnitude
+  /// the skipped groups may cumulatively reach.
+  AdaptiveDeltaEngine(const CoreEntryList& core,
+                      const std::vector<Matrix>& factors,
+                      MemoryTracker* tracker, double epsilon);
+
+  DeltaEngineChoice kind() const override {
+    return DeltaEngineChoice::kAdaptive;
+  }
+  const char* name() const override { return "adaptive"; }
+
+  void ComputeDelta(std::int64_t entry, const std::int64_t* entry_index,
+                    std::int64_t mode, double* delta) const override;
+
+  void OnCoreValuesChanged() override;
+  void OnCoreEntriesRemoved(const std::vector<char>& removed) override;
+
+  double epsilon() const { return epsilon_; }
+
+  /// Groups currently skipped in mode `mode`'s view (for tests/benches).
+  std::int64_t SkippedGroups(std::int64_t mode) const;
+
+ private:
+  void RecomputeSkips();
+
+  double epsilon_;
+  std::vector<std::vector<char>> skip_;  // per mode, per group
+};
+
+/// Tiled batch engine (cuFasterTucker-style, Li et al., PAPERS.md): the
+/// mode-major regrouped views plus a native DeltaBatch kernel that
+/// evaluates δ for a tile of up to `tile_width` entries simultaneously.
+/// Each core group's value/column stream is read once per tile instead of
+/// once per entry, and the tile-wide accumulators form B independent
+/// dependency chains, so the inner loop is throughput-bound instead of
+/// serialised on one running sum — the CPU stepping stone to SIMD/GPU
+/// batching. Per-entry multiply/accumulate order equals the mode-major
+/// scan's, so batch results are bit-identical to it for any tile width.
+/// Single-entry calls (ComputeDelta, Reconstruct, …) inherit the
+/// mode-major kernels unchanged.
+class TiledDeltaEngine final : public ModeMajorDeltaEngine {
+ public:
+  /// Hard upper bound on the tile width (sizes the kernel's stack
+  /// buffers); wider requests are clamped.
+  static constexpr std::int64_t kMaxTile = 64;
+
+  /// `tile_width` must be >= 1; it is clamped to kMaxTile.
+  TiledDeltaEngine(const CoreEntryList& core,
+                   const std::vector<Matrix>& factors, MemoryTracker* tracker,
+                   std::int64_t tile_width);
+
+  DeltaEngineChoice kind() const override { return DeltaEngineChoice::kTiled; }
+  const char* name() const override { return "tiled"; }
+
+  void DeltaBatch(std::int64_t count, const std::int64_t* entries,
+                  const std::int64_t* const* entry_indices, std::int64_t mode,
+                  double* deltas) const override;
+
+  std::int64_t PreferredBatch() const override { return tile_; }
+
+ private:
+  // One tile of <= tile_ entries against every group of `mode`'s view.
+  void TileKernel(const std::int64_t* const* entry_indices, std::int64_t count,
+                  std::int64_t mode, double* deltas) const;
+
+  std::int64_t tile_;
 };
 
 /// The §III-C Pres table (CacheTable) behind the engine interface: δ by
@@ -218,6 +347,27 @@ class CachedDeltaEngine final : public DeltaEngine {
   std::unique_ptr<CacheTable> table_;
 };
 
+/// One row of the engine name table: the enumerator, its canonical CLI
+/// token, an optional accepted alias, and a one-line summary. The CLI
+/// parser and its --help text are both generated from this table, so the
+/// accepted spellings and the documentation cannot drift apart.
+struct DeltaEngineDescriptor {
+  DeltaEngineChoice choice;
+  const char* name;     ///< canonical --delta-engine token
+  const char* alias;    ///< accepted alternative spelling, or nullptr
+  const char* summary;  ///< one-line help text
+};
+
+/// The authoritative list of selectable engines, in help-display order
+/// (kAuto first). Every DeltaEngineChoice enumerator has exactly one row.
+Span<const DeltaEngineDescriptor> DeltaEngineCatalog();
+
+/// Catalog row whose name or alias equals `name`, or nullptr if unknown.
+const DeltaEngineDescriptor* FindDeltaEngineByName(const std::string& name);
+
+/// Canonical CLI token of `choice` (from the catalog).
+const char* DeltaEngineChoiceName(DeltaEngineChoice choice);
+
 /// The engine a PTuckerOptions value actually asks for: an explicit
 /// delta_engine wins; kAuto maps kCache to kCached and everything else to
 /// kModeMajor. Never returns kAuto.
@@ -226,11 +376,12 @@ DeltaEngineChoice ResolveDeltaEngineChoice(const PTuckerOptions& options);
 /// Builds the requested engine over `x`, `core` and `factors` (all
 /// outliving the engine). `choice` must not be kAuto — resolve it first.
 /// `x` and `tracker` may go unused depending on the engine.
-std::unique_ptr<DeltaEngine> MakeDeltaEngine(DeltaEngineChoice choice,
-                                             const SparseTensor& x,
-                                             const CoreEntryList& core,
-                                             const std::vector<Matrix>& factors,
-                                             MemoryTracker* tracker);
+/// `adaptive_epsilon` is consumed by kAdaptive and `tile_width` by kTiled
+/// (PTuckerOptions carries both; see those fields for semantics).
+std::unique_ptr<DeltaEngine> MakeDeltaEngine(
+    DeltaEngineChoice choice, const SparseTensor& x, const CoreEntryList& core,
+    const std::vector<Matrix>& factors, MemoryTracker* tracker,
+    double adaptive_epsilon = 0.0, std::int64_t tile_width = kDefaultTileWidth);
 
 }  // namespace ptucker
 

@@ -1,3 +1,7 @@
+/// \file
+/// \brief Solver configuration: PTuckerOptions (Algorithm 2 inputs plus
+/// environment and extension knobs) and the enums selecting the variant,
+/// δ-engine, and OpenMP scheduling.
 #ifndef PTUCKER_CORE_OPTIONS_H_
 #define PTUCKER_CORE_OPTIONS_H_
 
@@ -21,7 +25,10 @@ enum class PTuckerVariant {
 };
 
 /// Which DeltaEngine implementation (core/delta_engine.h) computes δ
-/// (Eq. 12) and x̂ (Eq. 4) in the solver hot path.
+/// (Eq. 12) and x̂ (Eq. 4) in the solver hot path. The authoritative
+/// name/summary for each enumerator lives in DeltaEngineCatalog()
+/// (core/delta_engine.h) — the CLI parser and its --help text are both
+/// generated from that one table. See docs/architecture.md.
 enum class DeltaEngineChoice {
   /// Defer to the variant: kCache → kCached, everything else → kModeMajor.
   kAuto,
@@ -32,7 +39,19 @@ enum class DeltaEngineChoice {
   kModeMajor,
   /// The §III-C Pres table behind the engine interface.
   kCached,
+  /// Mode-major views plus a VeST-style group skip: core groups whose
+  /// cumulative |G_β| mass falls under PTuckerOptions::adaptive_epsilon
+  /// are dropped from δ. Exact (bit-identical to kModeMajor) at ε = 0.
+  kAdaptive,
+  /// Mode-major views plus a native B-wide DeltaBatch kernel: one tile of
+  /// PTuckerOptions::tile_width entries shares each streamed core group
+  /// (cuFasterTucker-style; the stepping stone to SIMD/GPU).
+  kTiled,
 };
+
+/// Default DeltaBatch tile width of the kTiled engine (entries per tile).
+/// Shared by PTuckerOptions and MakeDeltaEngine so the two cannot drift.
+inline constexpr std::int64_t kDefaultTileWidth = 16;
 
 /// OpenMP scheduling of the row updates (paper §III-D). The paper's
 /// "careful distribution of work" is dynamic scheduling; static is the
@@ -64,6 +83,19 @@ struct PTuckerOptions {
   /// δ-computation engine. kAuto lets the variant choose; an explicit
   /// value overrides it (e.g. kNaive pins the oracle scan for debugging).
   DeltaEngineChoice delta_engine = DeltaEngineChoice::kAuto;
+
+  /// Error budget ε of the kAdaptive engine, as a fraction of the total
+  /// core magnitude Σ_β |G_β| per regrouped view. Groups are skipped
+  /// smallest-first while their cumulative |G_β| mass stays ≤ ε · Σ|G_β|,
+  /// bounding the δ error by ε · Σ|G_β| · max|A|^(N−1) per component sum.
+  /// 0 (default) skips nothing and is bit-identical to kModeMajor; must be
+  /// in [0, 1). Ignored by the other engines.
+  double adaptive_epsilon = 0.0;
+
+  /// Entries per DeltaBatch tile of the kTiled engine. Must be >= 1;
+  /// clamped to the engine's compile-time kMaxTile. Ignored by the other
+  /// engines (they batch with width 1).
+  std::int64_t tile_width = kDefaultTileWidth;
 
   /// Truncation rate p per iteration (P-TUCKER-APPROX only). Paper: 0.2.
   double truncation_rate = 0.2;

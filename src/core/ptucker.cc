@@ -94,6 +94,13 @@ void ValidateInputs(const SparseTensor& x, const PTuckerOptions& options) {
   if (options.sample_rate <= 0.0 || options.sample_rate > 1.0) {
     throw std::invalid_argument("P-Tucker: sample_rate must be in (0, 1]");
   }
+  if (options.adaptive_epsilon < 0.0 || options.adaptive_epsilon >= 1.0) {
+    throw std::invalid_argument(
+        "P-Tucker: adaptive_epsilon must be in [0, 1)");
+  }
+  if (options.tile_width < 1) {
+    throw std::invalid_argument("P-Tucker: tile_width must be >= 1");
+  }
 }
 
 // Mixes the run seed with a (iteration, mode, row) key so every row draws
@@ -171,19 +178,26 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
   core.FillUniform(rng);
   CoreEntryList core_list(core);
 
-  // Intermediate data of the default variant: per-thread δ, c (J), B and
-  // the solved row (J²+J) — the O(T J²) of Theorem 4.
-  const std::int64_t scratch_bytes =
-      static_cast<std::int64_t>(threads) *
-      static_cast<std::int64_t>(sizeof(double)) *
-      (max_rank * max_rank + 3 * max_rank);
-  ScopedCharge scratch_charge(tracker, scratch_bytes);
-
   // The δ-computation engine (derived state charged inside): mode-major
   // views by default, the §III-C Pres table for P-TUCKER-CACHE, or
   // whatever options.delta_engine pins explicitly.
   std::unique_ptr<DeltaEngine> engine = MakeDeltaEngine(
-      ResolveDeltaEngineChoice(options), x, core_list, factors, tracker);
+      ResolveDeltaEngineChoice(options), x, core_list, factors, tracker,
+      options.adaptive_epsilon, options.tile_width);
+
+  // Row updates hand the engine tiles of `batch` entries at a time; only
+  // engines with a real batch kernel ask for more than one.
+  const std::int64_t batch = std::max<std::int64_t>(1, engine->PreferredBatch());
+
+  // Intermediate data of the default variant: per-thread B and the solved
+  // row + c (J²+2J), the δ tile (batch·J) and its entry ids/coordinate
+  // pointers/values (3·batch words) — still the O(T J²) of Theorem 4 for
+  // the default batch-1 engines.
+  const std::int64_t scratch_bytes =
+      static_cast<std::int64_t>(threads) *
+      static_cast<std::int64_t>(sizeof(double)) *
+      (max_rank * max_rank + 2 * max_rank + batch * max_rank + 3 * batch);
+  ScopedCharge scratch_charge(tracker, scratch_bytes);
 
   PTuckerResult result;
   double previous_error = std::numeric_limits<double>::infinity();
@@ -207,11 +221,17 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
 
 #pragma omp parallel
       {
-        // Per-thread intermediate data (Fig. 4): B, c, δ, and the row.
+        // Per-thread intermediate data (Fig. 4): B, c, the δ tile, and
+        // the row. The tile buffers batch entries between DeltaBatch
+        // calls; with batch = 1 this degenerates to the per-entry flow.
         Matrix b(rank, rank);
         std::vector<double> c(static_cast<std::size_t>(rank));
-        std::vector<double> delta(static_cast<std::size_t>(rank));
         std::vector<double> new_row(static_cast<std::size_t>(rank));
+        std::vector<double> deltas(static_cast<std::size_t>(batch * rank));
+        std::vector<std::int64_t> tile_entries(static_cast<std::size_t>(batch));
+        std::vector<const std::int64_t*> tile_index(
+            static_cast<std::size_t>(batch));
+        std::vector<double> tile_values(static_cast<std::size_t>(batch));
 
         // schedule(runtime): dynamic under the paper's careful
         // distribution of work, static for the naive ablation.
@@ -228,11 +248,37 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
           Rng sampler(subsample ? SampleStreamSeed(options.seed, iteration,
                                                    mode, row_index)
                                 : 0);
-          // δ, then the Eq. 10 / Eq. 11 accumulations, for one entry.
+          // Tiled δ, then the Eq. 10 / Eq. 11 accumulations. The per-tile
+          // results are consumed in entry order, so B and c accumulate in
+          // exactly the per-entry order regardless of the batch width —
+          // trajectories do not depend on how the engine tiles δ.
+          std::int64_t pending = 0;
+          const auto flush_tile = [&] {
+            if (pending == 0) return;
+            engine->DeltaBatch(pending, tile_entries.data(), tile_index.data(),
+                               mode, deltas.data());
+            for (std::int64_t i = 0; i < pending; ++i) {
+              double* delta = deltas.data() + i * rank;
+              SymmetricRank1Update(b, delta);                  // Eq. 10
+              Axpy(tile_values[static_cast<std::size_t>(i)], delta, c.data(),
+                   rank);                                      // Eq. 11
+            }
+            pending = 0;
+          };
           const auto accumulate_entry = [&](std::int64_t entry) {
-            engine->ComputeDelta(entry, x.index(entry), mode, delta.data());
-            SymmetricRank1Update(b, delta.data());               // Eq. 10
-            Axpy(x.value(entry), delta.data(), c.data(), rank);  // Eq. 11
+            if (batch == 1) {
+              // Batch-1 engines keep the direct per-entry hot path — no
+              // tile buffering, no extra virtual dispatch.
+              engine->ComputeDelta(entry, x.index(entry), mode,
+                                   deltas.data());
+              SymmetricRank1Update(b, deltas.data());            // Eq. 10
+              Axpy(x.value(entry), deltas.data(), c.data(), rank);
+              return;
+            }
+            tile_entries[static_cast<std::size_t>(pending)] = entry;
+            tile_index[static_cast<std::size_t>(pending)] = x.index(entry);
+            tile_values[static_cast<std::size_t>(pending)] = x.value(entry);
+            if (++pending == batch) flush_tile();
           };
           std::int64_t used = 0;
           for (const std::int64_t entry : slice) {
@@ -246,6 +292,7 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
             // Keep every observed row anchored to at least one entry.
             accumulate_entry(slice.front());
           }
+          flush_tile();
           for (std::int64_t j = 0; j < rank; ++j) b(j, j) += options.lambda;
           SolveRow(b, c.data(), new_row.data(), rank);      // Eq. 9
           for (std::int64_t j = 0; j < rank; ++j) {

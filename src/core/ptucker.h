@@ -1,3 +1,7 @@
+/// \file
+/// \brief The P-Tucker solver entry point (paper Algorithm 2): row-wise
+/// ALS Tucker factorization of a sparse, partially observed tensor, and
+/// the TuckerFactorization / PTuckerResult output types.
 #ifndef PTUCKER_CORE_PTUCKER_H_
 #define PTUCKER_CORE_PTUCKER_H_
 

@@ -1,3 +1,7 @@
+/// \file
+/// \brief P-TUCKER-APPROX core truncation (Algorithm 4): partial
+/// reconstruction errors R(β) (Eq. 13) and removal of the noisiest core
+/// entries, with DeltaEngine-aware scoring and removal notification.
 #ifndef PTUCKER_CORE_TRUNCATION_H_
 #define PTUCKER_CORE_TRUNCATION_H_
 

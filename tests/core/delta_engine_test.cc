@@ -1,11 +1,15 @@
 // Equivalence and maintenance tests for the pluggable δ-engines: the
-// mode-major and cached engines must agree with the naive entry-major
-// oracle on every kernel, stay consistent through core-list mutations
-// (Remove, RefreshValues) and factor updates, and hold across thread
-// counts. Also pins the solver-level guarantees: all engines produce the
-// same trajectories, each bit-reproducibly.
+// mode-major, cached, adaptive (ε = 0) and tiled (B ∈ {1, 4, 32}) engines
+// must agree with the naive entry-major oracle on every kernel, stay
+// consistent through core-list mutations (Remove, RefreshValues) and
+// factor updates, and hold across thread counts. DeltaBatch must equal a
+// per-entry ComputeDelta loop on every engine, adaptive ε > 0 must stay
+// inside its documented error budget, and the solver-level guarantees are
+// pinned: exact engines produce the same trajectories, each
+// bit-reproducibly.
 #include "core/delta_engine.h"
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -77,16 +81,93 @@ struct Engines {
   NaiveDeltaEngine naive;
   ModeMajorDeltaEngine mode_major;
   CachedDeltaEngine cached;
+  AdaptiveDeltaEngine adaptive0;  // ε = 0: must be bit-identical
+  TiledDeltaEngine tiled1;
+  TiledDeltaEngine tiled4;
+  TiledDeltaEngine tiled32;
 
   explicit Engines(const Ctx& s)
       : naive(s.list, s.factors),
         mode_major(s.list, s.factors, nullptr),
-        cached(s.x, s.list, s.factors, nullptr) {}
+        cached(s.x, s.list, s.factors, nullptr),
+        adaptive0(s.list, s.factors, nullptr, 0.0),
+        tiled1(s.list, s.factors, nullptr, 1),
+        tiled4(s.list, s.factors, nullptr, 4),
+        tiled32(s.list, s.factors, nullptr, 32) {}
+
+  // The engines with derived state, for broadcasting the mutation hooks.
+  std::vector<DeltaEngine*> All() {
+    return {&naive,  &mode_major, &cached, &adaptive0,
+            &tiled1, &tiled4,     &tiled32};
+  }
 };
 
+// DeltaBatch over every observed entry at once must equal the per-entry
+// ComputeDelta loop bit-for-bit — for every engine, including partial
+// final tiles (nnz is no multiple of the tile widths).
+void ExpectBatchMatchesLoop(const Ctx& s, const DeltaEngine& engine) {
+  const std::int64_t order = s.x.order();
+  const std::int64_t nnz = s.x.nnz();
+  std::vector<std::int64_t> entries(static_cast<std::size_t>(nnz));
+  std::vector<const std::int64_t*> indices(static_cast<std::size_t>(nnz));
+  for (std::int64_t e = 0; e < nnz; ++e) {
+    entries[static_cast<std::size_t>(e)] = e;
+    indices[static_cast<std::size_t>(e)] = s.x.index(e);
+  }
+  for (std::int64_t mode = 0; mode < order; ++mode) {
+    const std::int64_t rank = s.core.dim(mode);
+    std::vector<double> batched(static_cast<std::size_t>(nnz * rank));
+    engine.DeltaBatch(nnz, entries.data(), indices.data(), mode,
+                      batched.data());
+    std::vector<double> single(static_cast<std::size_t>(rank));
+    for (std::int64_t e = 0; e < nnz; ++e) {
+      engine.ComputeDelta(e, s.x.index(e), mode, single.data());
+      for (std::int64_t j = 0; j < rank; ++j) {
+        EXPECT_EQ(batched[static_cast<std::size_t>(e * rank + j)],
+                  single[static_cast<std::size_t>(j)])
+            << engine.name() << " batch, entry " << e << " mode " << mode;
+      }
+    }
+  }
+}
+
 // Asserts every engine kernel agrees with the naive oracle within 1e-12
-// over all observed entries.
+// over all observed entries, that the regrouped derivatives (adaptive at
+// ε = 0, tiled at every width) are bit-identical to mode-major, and that
+// DeltaBatch equals the per-entry loop on every engine.
 void ExpectEnginesAgree(const Ctx& s, const Engines& e) {
+  {
+    const std::int64_t order = s.x.order();
+    std::vector<double> reference;
+    std::vector<double> actual;
+    const DeltaEngine* regrouped[] = {&e.adaptive0, &e.tiled1, &e.tiled4,
+                                      &e.tiled32};
+    for (std::int64_t entry = 0; entry < s.x.nnz(); ++entry) {
+      for (std::int64_t mode = 0; mode < order; ++mode) {
+        const std::int64_t rank = s.core.dim(mode);
+        reference.assign(static_cast<std::size_t>(rank), 0.0);
+        actual.assign(static_cast<std::size_t>(rank), 0.0);
+        e.mode_major.ComputeDelta(entry, s.x.index(entry), mode,
+                                  reference.data());
+        for (const DeltaEngine* engine : regrouped) {
+          engine->ComputeDelta(entry, s.x.index(entry), mode, actual.data());
+          for (std::int64_t j = 0; j < rank; ++j) {
+            EXPECT_EQ(actual[static_cast<std::size_t>(j)],
+                      reference[static_cast<std::size_t>(j)])
+                << engine->name() << " delta, entry " << entry << " mode "
+                << mode;
+          }
+        }
+      }
+    }
+  }
+  ExpectBatchMatchesLoop(s, e.naive);
+  ExpectBatchMatchesLoop(s, e.mode_major);
+  ExpectBatchMatchesLoop(s, e.cached);
+  ExpectBatchMatchesLoop(s, e.adaptive0);
+  ExpectBatchMatchesLoop(s, e.tiled1);
+  ExpectBatchMatchesLoop(s, e.tiled4);
+  ExpectBatchMatchesLoop(s, e.tiled32);
   const std::int64_t order = s.x.order();
   const std::int64_t n_core = s.list.size();
   std::vector<double> g(static_cast<std::size_t>(n_core));
@@ -190,9 +271,7 @@ TEST_P(DeltaEngineEquivalence, ConsistentAfterRemove) {
     remove[static_cast<std::size_t>(b)] = 1;
   }
   s.list.Remove(remove, &s.core);
-  e.naive.OnCoreEntriesRemoved(remove);
-  e.mode_major.OnCoreEntriesRemoved(remove);
-  e.cached.OnCoreEntriesRemoved(remove);
+  for (DeltaEngine* engine : e.All()) engine->OnCoreEntriesRemoved(remove);
   ExpectEnginesAgree(s, e);
 }
 
@@ -213,9 +292,7 @@ TEST_P(DeltaEngineEquivalence, ConsistentAfterRefreshValues) {
     s.core.at(index.data()) = 0.1 + 0.01 * static_cast<double>(b);
   }
   s.list.RefreshValues(s.core);
-  e.naive.OnCoreValuesChanged();
-  e.mode_major.OnCoreValuesChanged();
-  e.cached.OnCoreValuesChanged();
+  for (DeltaEngine* engine : e.All()) engine->OnCoreValuesChanged();
   ExpectEnginesAgree(s, e);
 }
 
@@ -230,9 +307,7 @@ TEST_P(DeltaEngineEquivalence, ConsistentAfterFactorUpdate) {
   Matrix old_factor = s.factors[static_cast<std::size_t>(mode)];
   Rng rng(99);
   s.factors[static_cast<std::size_t>(mode)].FillUniform(rng);
-  e.naive.OnFactorUpdated(mode, old_factor);
-  e.mode_major.OnFactorUpdated(mode, old_factor);
-  e.cached.OnFactorUpdated(mode, old_factor);
+  for (DeltaEngine* engine : e.All()) engine->OnFactorUpdated(mode, old_factor);
   ExpectEnginesAgree(s, e);
 }
 
@@ -244,6 +319,82 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.rank) + "_threads" +
              std::to_string(info.param.threads);
     });
+
+TEST(DeltaEngineTest, AdaptiveStaysWithinErrorBudget) {
+  // The adaptive engine's documented bound: per (entry, mode), the summed
+  // absolute δ error is at most ε · Σ_β |G_β| · max|A|^(N−1) — the skipped
+  // groups' magnitude mass times the largest possible factor product.
+  Ctx s = MakeCtx(3, 5, 23);
+  const std::int64_t order = s.x.order();
+  NaiveDeltaEngine oracle(s.list, s.factors);
+  double total_mass = 0.0;
+  for (std::int64_t b = 0; b < s.list.size(); ++b) {
+    total_mass += std::fabs(s.list.value(b));
+  }
+  double max_factor = 0.0;
+  for (const Matrix& factor : s.factors) {
+    for (std::int64_t i = 0; i < factor.rows(); ++i) {
+      for (std::int64_t j = 0; j < factor.cols(); ++j) {
+        max_factor = std::max(max_factor, std::fabs(factor(i, j)));
+      }
+    }
+  }
+  for (const double eps : {0.05, 0.45}) {
+    AdaptiveDeltaEngine adaptive(s.list, s.factors, nullptr, eps);
+    const double bound =
+        eps * total_mass * std::pow(max_factor, static_cast<double>(order - 1));
+    for (std::int64_t entry = 0; entry < s.x.nnz(); ++entry) {
+      for (std::int64_t mode = 0; mode < order; ++mode) {
+        const std::int64_t rank = s.core.dim(mode);
+        std::vector<double> exact(static_cast<std::size_t>(rank));
+        std::vector<double> lossy(static_cast<std::size_t>(rank));
+        oracle.ComputeDelta(entry, s.x.index(entry), mode, exact.data());
+        adaptive.ComputeDelta(entry, s.x.index(entry), mode, lossy.data());
+        double summed_error = 0.0;
+        for (std::int64_t j = 0; j < rank; ++j) {
+          summed_error += std::fabs(lossy[static_cast<std::size_t>(j)] -
+                                    exact[static_cast<std::size_t>(j)]);
+        }
+        EXPECT_LE(summed_error, bound + 1e-12)
+            << "eps " << eps << " entry " << entry << " mode " << mode;
+      }
+    }
+  }
+}
+
+TEST(DeltaEngineTest, AdaptiveSkipsGroupsOnlyAtPositiveEpsilon) {
+  Ctx s = MakeCtx(3, 5, 29);
+  AdaptiveDeltaEngine exact(s.list, s.factors, nullptr, 0.0);
+  AdaptiveDeltaEngine lossy(s.list, s.factors, nullptr, 0.45);
+  std::int64_t exact_skips = 0;
+  std::int64_t lossy_skips = 0;
+  for (std::int64_t mode = 0; mode < s.x.order(); ++mode) {
+    exact_skips += exact.SkippedGroups(mode);
+    lossy_skips += lossy.SkippedGroups(mode);
+  }
+  // At ε = 0 only zero-weight (empty) groups may be flagged, and the core
+  // list holds only nonzeros, so a non-degenerate core skips nothing.
+  EXPECT_EQ(exact_skips, 0);
+  EXPECT_GT(lossy_skips, 0);
+  EXPECT_EQ(lossy.epsilon(), 0.45);
+}
+
+TEST(DeltaEngineTest, CatalogCoversEveryChoiceAndParsesNames) {
+  // One row per enumerator, names round-trip, alias resolves, unknown
+  // names are rejected — the CLI parser and --help both lean on this.
+  EXPECT_EQ(DeltaEngineCatalog().size(), 6u);
+  for (const DeltaEngineDescriptor& descriptor : DeltaEngineCatalog()) {
+    const DeltaEngineDescriptor* found =
+        FindDeltaEngineByName(descriptor.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->choice, descriptor.choice);
+    EXPECT_STREQ(DeltaEngineChoiceName(descriptor.choice), descriptor.name);
+  }
+  const DeltaEngineDescriptor* alias = FindDeltaEngineByName("cached");
+  ASSERT_NE(alias, nullptr);
+  EXPECT_EQ(alias->choice, DeltaEngineChoice::kCached);
+  EXPECT_EQ(FindDeltaEngineByName("warp"), nullptr);
+}
 
 TEST(DeltaEngineTest, ModeMajorDeltaIsBitIdenticalToNaive) {
   // The mode-major layout preserves the naive scan's per-group operation
@@ -306,6 +457,24 @@ TEST(DeltaEngineTest, FactoryResolvesAutoFromVariant) {
                                       s.list, s.factors, nullptr);
   EXPECT_EQ(engine->kind(), DeltaEngineChoice::kModeMajor);
   EXPECT_STREQ(engine->name(), "modemajor");
+  EXPECT_EQ(engine->PreferredBatch(), 1);
+
+  const auto adaptive =
+      MakeDeltaEngine(DeltaEngineChoice::kAdaptive, s.x, s.list, s.factors,
+                      nullptr, /*adaptive_epsilon=*/0.2);
+  EXPECT_EQ(adaptive->kind(), DeltaEngineChoice::kAdaptive);
+  EXPECT_STREQ(adaptive->name(), "adaptive");
+
+  const auto tiled =
+      MakeDeltaEngine(DeltaEngineChoice::kTiled, s.x, s.list, s.factors,
+                      nullptr, /*adaptive_epsilon=*/0.0, /*tile_width=*/32);
+  EXPECT_EQ(tiled->kind(), DeltaEngineChoice::kTiled);
+  EXPECT_STREQ(tiled->name(), "tiled");
+  EXPECT_EQ(tiled->PreferredBatch(), 32);
+
+  // Wider-than-kMaxTile requests are clamped, not rejected.
+  const TiledDeltaEngine clamped(s.list, s.factors, nullptr, 10000);
+  EXPECT_EQ(clamped.PreferredBatch(), TiledDeltaEngine::kMaxTile);
 }
 
 TEST(DeltaEngineTest, TruncationKeepsEnginesConsistent) {
@@ -336,7 +505,8 @@ TEST(DeltaEngineTest, TruncationKeepsEnginesConsistent) {
 
 PTuckerResult Solve(const SparseTensor& x, DeltaEngineChoice engine,
                     PTuckerVariant variant = PTuckerVariant::kMemory,
-                    bool update_core = false) {
+                    bool update_core = false, double adaptive_epsilon = 0.0,
+                    std::int64_t tile_width = kDefaultTileWidth) {
   PTuckerOptions options;
   options.core_dims = {3, 3, 3};
   options.max_iterations = 5;
@@ -344,6 +514,8 @@ PTuckerResult Solve(const SparseTensor& x, DeltaEngineChoice engine,
   options.delta_engine = engine;
   options.variant = variant;
   options.update_core = update_core;
+  options.adaptive_epsilon = adaptive_epsilon;
+  options.tile_width = tile_width;
   return PTuckerDecompose(x, options);
 }
 
@@ -371,12 +543,60 @@ TEST_F(DeltaEngineTrajectories, AllEnginesProduceTheSameTrajectory) {
   }
 }
 
+TEST_F(DeltaEngineTrajectories, RegroupedEnginesMatchModeMajorBitForBit) {
+  // Adaptive at ε = 0 and tiled at any width compute bit-identical δ and
+  // consume it in the same entry order, so whole solver trajectories —
+  // not just single kernels — must match mode-major exactly.
+  const PTuckerResult mode_major = Solve(x_, DeltaEngineChoice::kModeMajor);
+  const PTuckerResult adaptive =
+      Solve(x_, DeltaEngineChoice::kAdaptive, PTuckerVariant::kMemory, false,
+            /*adaptive_epsilon=*/0.0);
+  for (const std::int64_t tile : {std::int64_t{1}, std::int64_t{4},
+                                  std::int64_t{32}}) {
+    const PTuckerResult tiled =
+        Solve(x_, DeltaEngineChoice::kTiled, PTuckerVariant::kMemory, false,
+              0.0, tile);
+    ASSERT_EQ(tiled.iterations.size(), mode_major.iterations.size());
+    for (std::size_t i = 0; i < tiled.iterations.size(); ++i) {
+      EXPECT_EQ(tiled.iterations[i].error, mode_major.iterations[i].error)
+          << "tile " << tile << " iter " << i;
+    }
+  }
+  ASSERT_EQ(adaptive.iterations.size(), mode_major.iterations.size());
+  for (std::size_t i = 0; i < adaptive.iterations.size(); ++i) {
+    EXPECT_EQ(adaptive.iterations[i].error, mode_major.iterations[i].error)
+        << "iter " << i;
+  }
+}
+
+TEST_F(DeltaEngineTrajectories, AdaptiveWithBudgetTradesBoundedAccuracy) {
+  // ε > 0 degrades δ but the solve must stay well-behaved: same iteration
+  // count, finite errors, and a final model in the same quality ballpark
+  // as the exact engine (the documented speed-for-accuracy trade).
+  const PTuckerResult exact = Solve(x_, DeltaEngineChoice::kModeMajor);
+  const PTuckerResult lossy =
+      Solve(x_, DeltaEngineChoice::kAdaptive, PTuckerVariant::kMemory, false,
+            /*adaptive_epsilon=*/0.4);
+  ASSERT_EQ(lossy.iterations.size(), exact.iterations.size());
+  for (std::size_t i = 0; i < lossy.iterations.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(lossy.iterations[i].error)) << "iter " << i;
+  }
+  EXPECT_GT(lossy.final_error, 0.0);
+  EXPECT_LE(lossy.final_error, 1.5 * exact.final_error);
+}
+
 TEST_F(DeltaEngineTrajectories, EachEngineIsRunToRunDeterministic) {
   for (const DeltaEngineChoice choice :
        {DeltaEngineChoice::kNaive, DeltaEngineChoice::kModeMajor,
-        DeltaEngineChoice::kCached}) {
-    const PTuckerResult a = Solve(x_, choice);
-    const PTuckerResult b = Solve(x_, choice);
+        DeltaEngineChoice::kCached, DeltaEngineChoice::kAdaptive,
+        DeltaEngineChoice::kTiled}) {
+    // Give the lossy/batched engines non-trivial knobs so determinism is
+    // exercised on the interesting code paths.
+    const double eps = choice == DeltaEngineChoice::kAdaptive ? 0.4 : 0.0;
+    const PTuckerResult a =
+        Solve(x_, choice, PTuckerVariant::kMemory, false, eps, 4);
+    const PTuckerResult b =
+        Solve(x_, choice, PTuckerVariant::kMemory, false, eps, 4);
     ASSERT_EQ(a.iterations.size(), b.iterations.size());
     for (std::size_t i = 0; i < a.iterations.size(); ++i) {
       EXPECT_EQ(a.iterations[i].error, b.iterations[i].error)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo Markdown links.
+
+Scans every tracked or untracked-but-not-ignored .md file (so gitignored
+build trees and their third-party docs are never visited; outside a git
+checkout it falls back to a filesystem walk) for inline links and
+images -- [text](target) / ![alt](target) -- and reference definitions
+-- [label]: target -- and checks that each relative target resolves to an
+existing file or directory. External schemes (http/https/mailto) and
+pure in-page anchors (#...) are skipped; a target's own #anchor suffix is
+stripped before the existence check.
+
+Used by the CI docs job and, when a Python interpreter is found at
+configure time, by the `markdown_link_check` ctest. Run from anywhere:
+
+    python3 tools/check_markdown_links.py
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+# Fallback-walk exclusions (used only when git is unavailable).
+SKIP_DIRS = {".git", ".claude"}
+
+# [text](target) or ![alt](target); target ends at the first unescaped ')'
+# or at a space before an optional "title". Nested parens (rare in relative
+# paths) are out of scope.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+# [label]: target reference definitions at line start.
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+
+
+def markdown_files():
+    # Tracked files only, so gitignored build trees (build/, cmake-build-*/
+    # and their fetched third-party docs) are never scanned.
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "ls-files", "-z", "--cached",
+             "--others", "--exclude-standard", "--", "*.md"],
+            capture_output=True, check=True)
+        for name in sorted(set(out.stdout.decode("utf-8").split("\0"))):
+            if name and (REPO_ROOT / name).exists():  # skip staged deletes
+                yield REPO_ROOT / name
+        return
+    except (OSError, subprocess.CalledProcessError):
+        pass  # not a git checkout (e.g. a source tarball): walk instead
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        parts = set(path.relative_to(REPO_ROOT).parts[:-1])
+        if parts & SKIP_DIRS or any(p.startswith(("build", "cmake-build"))
+                                    for p in parts):
+            continue
+        yield path
+
+
+def check_file(path):
+    text = path.read_text(encoding="utf-8")
+    # Drop fenced code blocks: their brackets/parens are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    broken = []
+    targets = [m.group(1) for m in INLINE_LINK.finditer(text)]
+    targets += [m.group(1) for m in REFERENCE_DEF.finditer(text)]
+    for target in targets:
+        if EXTERNAL.match(target) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def main():
+    failures = 0
+    checked = 0
+    for path in markdown_files():
+        checked += 1
+        for target, resolved in check_file(path):
+            failures += 1
+            rel = path.relative_to(REPO_ROOT)
+            print(f"BROKEN  {rel}: ({target}) -> {resolved}")
+    if failures:
+        print(f"\n{failures} broken intra-repo Markdown link(s).")
+        return 1
+    print(f"OK: {checked} Markdown files, no broken intra-repo links.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,8 +15,13 @@
 //   --ranks J1,J2,...     core dimensionality per mode (or --rank J)
 //   --method NAME         ptucker (default) | hooi | shot | csf | wopt | cp
 //   --variant NAME        memory (default) | cache | approx  (ptucker only)
-//   --delta-engine NAME   auto (default) | naive | modemajor | cache
-//                         (δ-computation engine; auto follows the variant)
+//   --delta-engine NAME   δ-computation engine; the accepted names and
+//                         their one-line summaries come from
+//                         DeltaEngineCatalog() (core/delta_engine.h) and
+//                         are printed by --help — parser and help share
+//                         that one table so they cannot drift
+//   --adaptive-eps X      error budget of --delta-engine adaptive, [0, 1)
+//   --tile-width B        DeltaBatch tile of --delta-engine tiled (>= 1)
 //   --lambda X            L2 regularization (default 0.01)
 //   --max-iters N         maximum ALS iterations (default 20)
 //   --tolerance X         relative-error convergence (default 1e-4)
@@ -37,6 +42,7 @@
 
 #include "baselines/cp_als.h"
 #include "baselines/hooi.h"
+#include "core/delta_engine.h"
 #include "baselines/shot.h"
 #include "baselines/tucker_csf.h"
 #include "baselines/tucker_wopt.h"
@@ -66,6 +72,8 @@ struct CliConfig {
   double tolerance = 1e-4;
   double truncation_rate = 0.2;
   double sample_rate = 1.0;
+  double adaptive_eps = 0.0;
+  std::int64_t tile_width = kDefaultTileWidth;
   int threads = 0;
   std::uint64_t seed = 0x5eedULL;
   double test_fraction = 0.0;
@@ -85,11 +93,21 @@ void PrintUsageAndExit() {
       "usage: ptucker_cli --input X.tns --ranks J1,J2,... [options]\n"
       "       ptucker_cli --selftest\n\n"
       "methods:  ptucker (default) hooi shot csf wopt cp\n"
-      "variants: memory (default) cache approx\n"
-      "engines:  --delta-engine auto (default) naive modemajor cache\n"
+      "variants: memory (default) cache approx\n");
+  // The engine list is generated from DeltaEngineCatalog() — the same
+  // table the parser consults — so help and parser cannot drift.
+  std::printf("engines (--delta-engine NAME; default auto):\n");
+  for (const DeltaEngineDescriptor& engine : DeltaEngineCatalog()) {
+    std::string name = engine.name;
+    if (engine.alias != nullptr) {
+      name += std::string(" (or ") + engine.alias + ")";
+    }
+    std::printf("  %-18s %s\n", name.c_str(), engine.summary);
+  }
+  std::printf(
       "options:  --lambda --max-iters --tolerance --truncation-rate\n"
-      "          --sample-rate --threads --seed --test-fraction\n"
-      "          --output-dir --update-core --quiet\n"
+      "          --sample-rate --adaptive-eps --tile-width --threads\n"
+      "          --seed --test-fraction --output-dir --update-core --quiet\n"
       "flags accept both '--flag value' and '--flag=value'\n");
   std::exit(0);
 }
@@ -155,6 +173,10 @@ CliConfig ParseArgs(int argc, char** argv) {
       config.truncation_rate = std::stod(need_value(i));
     else if (arg == "--sample-rate")
       config.sample_rate = std::stod(need_value(i));
+    else if (arg == "--adaptive-eps")
+      config.adaptive_eps = std::stod(need_value(i));
+    else if (arg == "--tile-width")
+      config.tile_width = std::stoll(need_value(i));
     else if (arg == "--threads") config.threads = std::stoi(need_value(i));
     else if (arg == "--seed") config.seed = std::stoull(need_value(i));
     else if (arg == "--test-fraction")
@@ -252,18 +274,15 @@ int Run(const CliConfig& config) {
     } else {
       Fail("unknown --variant: " + config.variant);
     }
-    if (config.delta_engine == "auto") {
-      options.delta_engine = DeltaEngineChoice::kAuto;
-    } else if (config.delta_engine == "naive") {
-      options.delta_engine = DeltaEngineChoice::kNaive;
-    } else if (config.delta_engine == "modemajor") {
-      options.delta_engine = DeltaEngineChoice::kModeMajor;
-    } else if (config.delta_engine == "cache" ||
-               config.delta_engine == "cached") {
-      options.delta_engine = DeltaEngineChoice::kCached;
-    } else {
+    options.adaptive_epsilon = config.adaptive_eps;
+    options.tile_width = config.tile_width;
+    // Engine names resolve through the same catalog --help prints.
+    const DeltaEngineDescriptor* engine =
+        FindDeltaEngineByName(config.delta_engine);
+    if (engine == nullptr) {
       Fail("unknown --delta-engine: " + config.delta_engine);
     }
+    options.delta_engine = engine->choice;
     PTuckerResult result = PTuckerDecompose(train, options);
     PrintTrace(result.iterations, config.quiet);
     model = std::move(result.model);
