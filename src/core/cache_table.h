@@ -1,3 +1,7 @@
+/// \file
+/// \brief The §III-C Pres table of P-TUCKER-CACHE: memoized per-(observed
+/// entry, core entry) products giving O(1) δ per pair, behind
+/// CachedDeltaEngine.
 #ifndef PTUCKER_CORE_CACHE_TABLE_H_
 #define PTUCKER_CORE_CACHE_TABLE_H_
 
@@ -29,14 +33,18 @@ class CacheTable {
   /// over budget) and fills the table in parallel.
   CacheTable(const SparseTensor& x, const CoreEntryList& core,
              const std::vector<Matrix>& factors, MemoryTracker* tracker);
+  /// Releases the charged bytes.
   ~CacheTable();
 
-  CacheTable(const CacheTable&) = delete;
-  CacheTable& operator=(const CacheTable&) = delete;
+  CacheTable(const CacheTable&) = delete;             ///< non-copyable
+  CacheTable& operator=(const CacheTable&) = delete;  ///< non-copyable
 
+  /// Number of observed entries |Ω| the table spans.
   std::int64_t num_entries() const { return num_entries_; }
+  /// Number of nonzero core entries |G| per row.
   std::int64_t num_core() const { return num_core_; }
 
+  /// The cached products Pres[entry][0..num_core()) of one observed entry.
   const double* Row(std::int64_t entry) const {
     return table_.data() + static_cast<std::size_t>(entry * num_core_);
   }
@@ -54,6 +62,7 @@ class CacheTable {
                        const std::vector<Matrix>& factors, std::int64_t mode,
                        const Matrix& old_factor);
 
+  /// Bytes held by the table (the Θ(|Ω|·|G|) trade of §III-C).
   std::int64_t ByteSize() const {
     return static_cast<std::int64_t>(table_.size() * sizeof(double));
   }

@@ -1,3 +1,8 @@
+/// \file
+/// \brief Core-tensor refit extension (the paper's future-work direction):
+/// regularized least-squares update of the nonzero core values by
+/// matrix-free conjugate gradients, with the design-row products streamed
+/// through a DeltaEngine (DesignDot / DesignAccumulate).
 #ifndef PTUCKER_CORE_CORE_UPDATE_H_
 #define PTUCKER_CORE_CORE_UPDATE_H_
 

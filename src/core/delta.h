@@ -1,3 +1,7 @@
+/// \file
+/// \brief The nonzero-core-entry list (CoreEntryList) the solvers scan,
+/// plus the entry-major reference kernels for δ (Eq. 12) and x̂ (Eq. 4)
+/// that the naive DeltaEngine wraps.
 #ifndef PTUCKER_CORE_DELTA_H_
 #define PTUCKER_CORE_DELTA_H_
 
@@ -18,20 +22,24 @@ namespace ptucker {
 /// hottest loop in the library.
 class CoreEntryList {
  public:
+  /// An empty list (no core bound yet).
   CoreEntryList() = default;
 
   /// Collects the nonzeros of `core`.
   explicit CoreEntryList(const DenseTensor& core);
 
+  /// Number of nonzero core entries |G|.
   std::int64_t size() const {
     return static_cast<std::int64_t>(values_.size());
   }
+  /// Tensor order N of the core the list was built from.
   std::int64_t order() const { return order_; }
 
   /// Multi-index of core entry `b` (length order()).
   const std::int32_t* index(std::int64_t b) const {
     return indices_.data() + static_cast<std::size_t>(b * order_);
   }
+  /// Value G_β of core entry `b`.
   double value(std::int64_t b) const {
     return values_[static_cast<std::size_t>(b)];
   }

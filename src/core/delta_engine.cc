@@ -76,6 +76,23 @@ void DeltaEngine::DeltaBatch(std::int64_t count, const std::int64_t* entries,
   }
 }
 
+void DeltaEngine::ReconstructBatch(std::int64_t count,
+                                   const std::int64_t* const* entry_indices,
+                                   double* out) const {
+  for (std::int64_t i = 0; i < count; ++i) {
+    out[i] = Reconstruct(entry_indices[i]);
+  }
+}
+
+void DeltaEngine::ProductsBatch(std::int64_t count,
+                                const std::int64_t* const* entry_indices,
+                                double* products) const {
+  const std::int64_t n_core = core().size();
+  for (std::int64_t i = 0; i < count; ++i) {
+    ComputeProducts(entry_indices[i], products + i * n_core);
+  }
+}
+
 void DeltaEngine::OnFactorUpdated(std::int64_t mode, const Matrix& old_factor) {
   (void)mode;
   (void)old_factor;
@@ -543,6 +560,36 @@ TiledDeltaEngine::TiledDeltaEngine(const CoreEntryList& core,
   PTUCKER_CHECK(tile_width >= 1);
 }
 
+namespace {
+
+// Whether the build can honor `#pragma omp simd`. The build requires
+// OpenMP today, but the scalar fallback keeps the kernels correct in any
+// future configuration without it.
+#ifdef _OPENMP
+constexpr bool kHaveOmpSimd = true;
+#define PTUCKER_OMP_SIMD _Pragma("omp simd")
+#else
+constexpr bool kHaveOmpSimd = false;
+#define PTUCKER_OMP_SIMD
+#endif
+
+}  // namespace
+
+bool TiledDeltaEngine::SimdEligible(std::int64_t count,
+                                    std::int64_t mode) const {
+  if (!kHaveOmpSimd || count < kSimdMinTile) return false;
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  if (width < 1 || width > kMaxPackWidth) return false;
+  for (std::int64_t k = 0; k < order; ++k) {
+    if (k == mode) continue;
+    if (factors()[static_cast<std::size_t>(k)].cols() > kMaxPackRank) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void TiledDeltaEngine::DeltaBatch(std::int64_t count,
                                   const std::int64_t* entries,
                                   const std::int64_t* const* entry_indices,
@@ -552,13 +599,123 @@ void TiledDeltaEngine::DeltaBatch(std::int64_t count,
       factors()[static_cast<std::size_t>(mode)].cols();
   for (std::int64_t start = 0; start < count; start += tile_) {
     const std::int64_t chunk = std::min(tile_, count - start);
-    TileKernel(entry_indices + start, chunk, mode, deltas + start * rank);
+    if (SimdEligible(chunk, mode)) {
+      TileKernelSimd(entry_indices + start, chunk, mode,
+                     deltas + start * rank);
+    } else {
+      TileKernelScalar(entry_indices + start, chunk, mode,
+                       deltas + start * rank);
+    }
   }
 }
 
-void TiledDeltaEngine::TileKernel(const std::int64_t* const* entry_indices,
-                                  std::int64_t count, std::int64_t mode,
-                                  double* deltas) const {
+void TiledDeltaEngine::ReconstructBatch(
+    std::int64_t count, const std::int64_t* const* entry_indices,
+    double* out) const {
+  for (std::int64_t start = 0; start < count; start += tile_) {
+    const std::int64_t chunk = std::min(tile_, count - start);
+    if (SimdEligible(chunk, /*mode=*/0)) {
+      ReconstructTileSimd(entry_indices + start, chunk, out + start);
+    } else {
+      ReconstructTileScalar(entry_indices + start, chunk, out + start);
+    }
+  }
+}
+
+void TiledDeltaEngine::ProductsBatch(std::int64_t count,
+                                     const std::int64_t* const* entry_indices,
+                                     double* products) const {
+  const std::int64_t n_core = core().size();
+  for (std::int64_t start = 0; start < count; start += tile_) {
+    const std::int64_t chunk = std::min(tile_, count - start);
+    if (SimdEligible(chunk, /*mode=*/0)) {
+      ProductsTileSimd(entry_indices + start, chunk,
+                       products + start * n_core);
+    } else {
+      ProductsTileScalar(entry_indices + start, chunk,
+                         products + start * n_core);
+    }
+  }
+}
+
+namespace {
+
+// One group's tile contributions from per-lane row pointers:
+// acc[i] = Σ_t value_t · Π_w rows[w][i][col_w], accumulated in t order —
+// the same multiply/accumulate order as GroupSum, so every lane is
+// bit-identical to the mode-major per-entry scan. Width-specialized like
+// GroupSum; shared by the scalar δ and x̂ tile kernels so the group
+// stream exists exactly once.
+inline void AccumulateGroupRows(
+    const double* values, const std::int32_t* cols, std::int64_t begin,
+    std::int64_t end, std::int64_t width,
+    const double* const (*rows)[TiledDeltaEngine::kMaxTile],
+    std::int64_t count, double* acc) {
+  for (std::int64_t i = 0; i < count; ++i) acc[i] = 0.0;
+  switch (width) {
+    case 1: {
+      const double* const* r0 = rows[0];
+      for (std::int64_t t = begin; t < end; ++t) {
+        const double value = values[t];
+        const std::int32_t c0 = cols[t];
+        for (std::int64_t i = 0; i < count; ++i) {
+          acc[i] += value * r0[i][c0];
+        }
+      }
+      break;
+    }
+    case 2: {
+      const double* const* r0 = rows[0];
+      const double* const* r1 = rows[1];
+      const std::int32_t* col = cols + begin * 2;
+      for (std::int64_t t = begin; t < end; ++t, col += 2) {
+        const double value = values[t];
+        const std::int32_t c0 = col[0];
+        const std::int32_t c1 = col[1];
+        for (std::int64_t i = 0; i < count; ++i) {
+          acc[i] += value * r0[i][c0] * r1[i][c1];
+        }
+      }
+      break;
+    }
+    case 3: {
+      const double* const* r0 = rows[0];
+      const double* const* r1 = rows[1];
+      const double* const* r2 = rows[2];
+      const std::int32_t* col = cols + begin * 3;
+      for (std::int64_t t = begin; t < end; ++t, col += 3) {
+        const double value = values[t];
+        const std::int32_t c0 = col[0];
+        const std::int32_t c1 = col[1];
+        const std::int32_t c2 = col[2];
+        for (std::int64_t i = 0; i < count; ++i) {
+          acc[i] += value * r0[i][c0] * r1[i][c1] * r2[i][c2];
+        }
+      }
+      break;
+    }
+    default: {
+      const std::int32_t* col = cols + begin * width;
+      for (std::int64_t t = begin; t < end; ++t, col += width) {
+        const double value = values[t];
+        for (std::int64_t i = 0; i < count; ++i) {
+          double product = value;
+          for (std::int64_t w = 0; w < width; ++w) {
+            product *= rows[w][i][col[w]];
+          }
+          acc[i] += product;
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void TiledDeltaEngine::TileKernelScalar(
+    const std::int64_t* const* entry_indices, std::int64_t count,
+    std::int64_t mode, double* deltas) const {
   const ModeView& v = view(mode);
   const std::int64_t order = core().order();
   const std::int64_t width = order - 1;
@@ -581,22 +738,267 @@ void TiledDeltaEngine::TileKernel(const std::int64_t* const* entry_indices,
   const std::int32_t* cols = v.cols.data();
   double acc[kMaxTile];
   for (std::int64_t j = 0; j < rank; ++j) {
-    const std::int64_t begin = v.offsets[static_cast<std::size_t>(j)];
-    const std::int64_t end = v.offsets[static_cast<std::size_t>(j + 1)];
-    for (std::int64_t i = 0; i < count; ++i) acc[i] = 0.0;
     // Each core entry's value/columns are loaded once and applied to the
     // whole tile; the count-many accumulators are independent dependency
-    // chains, unlike the single running sum of the per-entry kernel. The
-    // per-entry multiply order (value · rows ascending) matches GroupSum,
-    // so every tile entry's δ is bit-identical to the mode-major scan.
+    // chains, unlike the single running sum of the per-entry kernel.
+    AccumulateGroupRows(values, cols, v.offsets[static_cast<std::size_t>(j)],
+                        v.offsets[static_cast<std::size_t>(j + 1)], width,
+                        rows, count, acc);
+    for (std::int64_t i = 0; i < count; ++i) {
+      deltas[i * rank + j] = acc[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD tile kernels. Each packs the tile's factor rows into transposed
+// scratch first — packed[w][c·count + i] holds lane i's coefficient for
+// column c of the w-th non-mode factor — so the `#pragma omp simd` lane
+// loops load contiguous vectors (one unit-stride block per streamed core
+// entry) instead of dereferencing count row pointers per group entry.
+// The arithmetic per lane is exactly the scalar kernel's (same values,
+// same multiply/accumulate order), so the two paths are bit-identical.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Pack scratch of one SIMD tile call (sized by the SimdEligible bounds).
+struct PackedTile {
+  double slots[TiledDeltaEngine::kMaxPackWidth]
+              [TiledDeltaEngine::kMaxTile * TiledDeltaEngine::kMaxPackRank];
+};
+
+// Transposes the tile's factor rows for every mode except `skip` into
+// `pack` (ascending mode order, like GatherRows).
+inline void PackRows(const std::vector<Matrix>& factors,
+                     const std::int64_t* const* entry_indices,
+                     std::int64_t count, std::int64_t order, std::int64_t skip,
+                     PackedTile* pack) {
+  std::int64_t w = 0;
+  for (std::int64_t k = 0; k < order; ++k) {
+    if (k == skip) continue;
+    const Matrix& factor = factors[static_cast<std::size_t>(k)];
+    const std::int64_t rank = factor.cols();
+    double* packed = pack->slots[w++];
+    for (std::int64_t i = 0; i < count; ++i) {
+      const double* row = factor.Row(entry_indices[i][k]);
+      for (std::int64_t c = 0; c < rank; ++c) {
+        packed[c * count + i] = row[c];
+      }
+    }
+  }
+}
+
+// Packed counterpart of AccumulateGroupRows: the same group stream and
+// multiply/accumulate order, reading each factor column's lane values as
+// one unit-stride block of the transposed pack, with `#pragma omp simd`
+// lane loops. Bit-identical to AccumulateGroupRows. Width is in
+// [1, kMaxPackWidth] (SimdEligible), so 3 is the default case. Shared by
+// the SIMD delta and x-hat tile kernels.
+inline void AccumulateGroupPacked(const double* values,
+                                  const std::int32_t* cols,
+                                  std::int64_t begin, std::int64_t end,
+                                  std::int64_t width, const double* p0,
+                                  const double* p1, const double* p2,
+                                  std::int64_t count, double* acc) {
+  PTUCKER_OMP_SIMD
+  for (std::int64_t i = 0; i < count; ++i) acc[i] = 0.0;
+  switch (width) {
+    case 1: {
+      for (std::int64_t t = begin; t < end; ++t) {
+        const double value = values[t];
+        const double* a0 = p0 + cols[t] * count;
+        PTUCKER_OMP_SIMD
+        for (std::int64_t i = 0; i < count; ++i) {
+          acc[i] += value * a0[i];
+        }
+      }
+      break;
+    }
+    case 2: {
+      const std::int32_t* col = cols + begin * 2;
+      for (std::int64_t t = begin; t < end; ++t, col += 2) {
+        const double value = values[t];
+        const double* a0 = p0 + col[0] * count;
+        const double* a1 = p1 + col[1] * count;
+        PTUCKER_OMP_SIMD
+        for (std::int64_t i = 0; i < count; ++i) {
+          acc[i] += value * a0[i] * a1[i];
+        }
+      }
+      break;
+    }
+    default: {  // width == 3, the SimdEligible cap
+      const std::int32_t* col = cols + begin * 3;
+      for (std::int64_t t = begin; t < end; ++t, col += 3) {
+        const double value = values[t];
+        const double* a0 = p0 + col[0] * count;
+        const double* a1 = p1 + col[1] * count;
+        const double* a2 = p2 + col[2] * count;
+        PTUCKER_OMP_SIMD
+        for (std::int64_t i = 0; i < count; ++i) {
+          acc[i] += value * a0[i] * a1[i] * a2[i];
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void TiledDeltaEngine::TileKernelSimd(const std::int64_t* const* entry_indices,
+                                      std::int64_t count, std::int64_t mode,
+                                      double* deltas) const {
+  const ModeView& v = view(mode);
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank =
+      factors()[static_cast<std::size_t>(mode)].cols();
+  PackedTile pack;
+  PackRows(factors(), entry_indices, count, order, mode, &pack);
+  const double* p0 = pack.slots[0];
+  const double* p1 = pack.slots[1];
+  const double* p2 = pack.slots[2];
+
+  const double* values = v.values.data();
+  const std::int32_t* cols = v.cols.data();
+  double acc[kMaxTile];
+  for (std::int64_t j = 0; j < rank; ++j) {
+    AccumulateGroupPacked(values, cols,
+                          v.offsets[static_cast<std::size_t>(j)],
+                          v.offsets[static_cast<std::size_t>(j + 1)], width,
+                          p0, p1, p2, count, acc);
+    for (std::int64_t i = 0; i < count; ++i) {
+      deltas[i * rank + j] = acc[i];
+    }
+  }
+}
+
+void TiledDeltaEngine::ReconstructTileScalar(
+    const std::int64_t* const* entry_indices, std::int64_t count,
+    double* out) const {
+  const ModeView& v = view(0);
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank = factors()[0].cols();
+  // Slot-major row pointers for modes 1..N−1 plus each lane's mode-0
+  // coefficient row (the column factored out of view 0).
+  const double* rows[kMaxOrder][kMaxTile];
+  const double* coefficients[kMaxTile];
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t* idx = entry_indices[i];
+    coefficients[i] = factors()[0].Row(idx[0]);
+    std::int64_t w = 0;
+    for (std::int64_t k = 1; k < order; ++k) {
+      rows[w++][i] = factors()[static_cast<std::size_t>(k)].Row(idx[k]);
+    }
+  }
+
+  const double* values = v.values.data();
+  const std::int32_t* cols = v.cols.data();
+  double total[kMaxTile];
+  double acc[kMaxTile];
+  for (std::int64_t i = 0; i < count; ++i) total[i] = 0.0;
+  for (std::int64_t j = 0; j < rank; ++j) {
+    AccumulateGroupRows(values, cols, v.offsets[static_cast<std::size_t>(j)],
+                        v.offsets[static_cast<std::size_t>(j + 1)], width,
+                        rows, count, acc);
+    // Per-lane group skip, exactly like the mode-major Reconstruct: a
+    // zero coefficient never touches the running sum, so x̂ stays
+    // bit-identical to the per-entry kernel lane by lane.
+    for (std::int64_t i = 0; i < count; ++i) {
+      const double coefficient = coefficients[i][j];
+      if (coefficient != 0.0) total[i] += coefficient * acc[i];
+    }
+  }
+  for (std::int64_t i = 0; i < count; ++i) out[i] = total[i];
+}
+
+void TiledDeltaEngine::ReconstructTileSimd(
+    const std::int64_t* const* entry_indices, std::int64_t count,
+    double* out) const {
+  const ModeView& v = view(0);
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank = factors()[0].cols();
+  PackedTile pack;
+  PackRows(factors(), entry_indices, count, order, /*skip=*/0, &pack);
+  const double* p0 = pack.slots[0];
+  const double* p1 = pack.slots[1];
+  const double* p2 = pack.slots[2];
+  const double* coefficients[kMaxTile];
+  for (std::int64_t i = 0; i < count; ++i) {
+    coefficients[i] = factors()[0].Row(entry_indices[i][0]);
+  }
+
+  const double* values = v.values.data();
+  const std::int32_t* cols = v.cols.data();
+  double total[kMaxTile];
+  double acc[kMaxTile];
+  PTUCKER_OMP_SIMD
+  for (std::int64_t i = 0; i < count; ++i) total[i] = 0.0;
+  for (std::int64_t j = 0; j < rank; ++j) {
+    AccumulateGroupPacked(values, cols,
+                          v.offsets[static_cast<std::size_t>(j)],
+                          v.offsets[static_cast<std::size_t>(j + 1)], width,
+                          p0, p1, p2, count, acc);
+    // Per-lane group skip, exactly like the mode-major Reconstruct (kept
+    // scalar: the skip must not turn into an added 0.0).
+    for (std::int64_t i = 0; i < count; ++i) {
+      const double coefficient = coefficients[i][j];
+      if (coefficient != 0.0) total[i] += coefficient * acc[i];
+    }
+  }
+  for (std::int64_t i = 0; i < count; ++i) out[i] = total[i];
+}
+
+void TiledDeltaEngine::ProductsTileScalar(
+    const std::int64_t* const* entry_indices, std::int64_t count,
+    double* products) const {
+  const ModeView& v = view(0);
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank = factors()[0].cols();
+  const std::int64_t n_core = core().size();
+  const double* rows[kMaxOrder][kMaxTile];
+  const double* coefficients[kMaxTile];
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t* idx = entry_indices[i];
+    coefficients[i] = factors()[0].Row(idx[0]);
+    std::int64_t w = 0;
+    for (std::int64_t k = 1; k < order; ++k) {
+      rows[w++][i] = factors()[static_cast<std::size_t>(k)].Row(idx[k]);
+    }
+  }
+
+  const double* values = v.values.data();
+  const std::int32_t* cols = v.cols.data();
+  const std::int32_t* list_pos = v.list_pos.data();
+  double cvec[kMaxTile];
+  for (std::int64_t j = 0; j < rank; ++j) {
+    const std::int64_t begin = v.offsets[static_cast<std::size_t>(j)];
+    const std::int64_t end = v.offsets[static_cast<std::size_t>(j + 1)];
+    // Hoist the group's mode-0 coefficients into a lane vector once, so
+    // the store loops below don't reload coefficients[i][j] per group
+    // entry (the stores could alias the factor rows).
+    for (std::int64_t i = 0; i < count; ++i) cvec[i] = coefficients[i][j];
+    // Per (group entry, lane): value · coefficient first, remaining modes
+    // ascending — ComputeProducts' multiply order — with an exact 0.0
+    // written for zero coefficients (matching its group-level skip), so
+    // every lane's products equal the per-entry kernel bit-for-bit. The
+    // lane loop scatters with stride |G| into each lane's products block.
     switch (width) {
       case 1: {
         const double* const* r0 = rows[0];
         for (std::int64_t t = begin; t < end; ++t) {
           const double value = values[t];
           const std::int32_t c0 = cols[t];
+          double* slot = products + list_pos[t];
           for (std::int64_t i = 0; i < count; ++i) {
-            acc[i] += value * r0[i][c0];
+            const double coefficient = cvec[i];
+            slot[i * n_core] =
+                coefficient == 0.0 ? 0.0 : value * coefficient * r0[i][c0];
           }
         }
         break;
@@ -609,8 +1011,13 @@ void TiledDeltaEngine::TileKernel(const std::int64_t* const* entry_indices,
           const double value = values[t];
           const std::int32_t c0 = col[0];
           const std::int32_t c1 = col[1];
+          double* slot = products + list_pos[t];
           for (std::int64_t i = 0; i < count; ++i) {
-            acc[i] += value * r0[i][c0] * r1[i][c1];
+            const double coefficient = cvec[i];
+            slot[i * n_core] =
+                coefficient == 0.0
+                    ? 0.0
+                    : value * coefficient * r0[i][c0] * r1[i][c1];
           }
         }
         break;
@@ -625,8 +1032,13 @@ void TiledDeltaEngine::TileKernel(const std::int64_t* const* entry_indices,
           const std::int32_t c0 = col[0];
           const std::int32_t c1 = col[1];
           const std::int32_t c2 = col[2];
+          double* slot = products + list_pos[t];
           for (std::int64_t i = 0; i < count; ++i) {
-            acc[i] += value * r0[i][c0] * r1[i][c1] * r2[i][c2];
+            const double coefficient = cvec[i];
+            slot[i * n_core] =
+                coefficient == 0.0
+                    ? 0.0
+                    : value * coefficient * r0[i][c0] * r1[i][c1] * r2[i][c2];
           }
         }
         break;
@@ -635,22 +1047,110 @@ void TiledDeltaEngine::TileKernel(const std::int64_t* const* entry_indices,
         const std::int32_t* col = cols + begin * width;
         for (std::int64_t t = begin; t < end; ++t, col += width) {
           const double value = values[t];
+          double* slot = products + list_pos[t];
           for (std::int64_t i = 0; i < count; ++i) {
-            double product = value;
+            const double coefficient = cvec[i];
+            if (coefficient == 0.0) {
+              slot[i * n_core] = 0.0;
+              continue;
+            }
+            double product = value * coefficient;
             for (std::int64_t w = 0; w < width; ++w) {
               product *= rows[w][i][col[w]];
             }
-            acc[i] += product;
+            slot[i * n_core] = product;
           }
         }
         break;
       }
     }
-    for (std::int64_t i = 0; i < count; ++i) {
-      deltas[i * rank + j] = acc[i];
+  }
+}
+
+void TiledDeltaEngine::ProductsTileSimd(
+    const std::int64_t* const* entry_indices, std::int64_t count,
+    double* products) const {
+  const ModeView& v = view(0);
+  const std::int64_t order = core().order();
+  const std::int64_t width = order - 1;
+  const std::int64_t rank = factors()[0].cols();
+  const std::int64_t n_core = core().size();
+  PackedTile pack;
+  PackRows(factors(), entry_indices, count, order, /*skip=*/0, &pack);
+  const double* p0 = pack.slots[0];
+  const double* p1 = pack.slots[1];
+  const double* p2 = pack.slots[2];
+  const double* coefficients[kMaxTile];
+  for (std::int64_t i = 0; i < count; ++i) {
+    coefficients[i] = factors()[0].Row(entry_indices[i][0]);
+  }
+
+  const double* values = v.values.data();
+  const std::int32_t* cols = v.cols.data();
+  const std::int32_t* list_pos = v.list_pos.data();
+  double cvec[kMaxTile];
+  for (std::int64_t j = 0; j < rank; ++j) {
+    const std::int64_t begin = v.offsets[static_cast<std::size_t>(j)];
+    const std::int64_t end = v.offsets[static_cast<std::size_t>(j + 1)];
+    // One contiguous lane vector of the group's mode-0 coefficients, so
+    // the store loops below read it unit-stride.
+    for (std::int64_t i = 0; i < count; ++i) cvec[i] = coefficients[i][j];
+    switch (width) {
+      case 1: {
+        for (std::int64_t t = begin; t < end; ++t) {
+          const double value = values[t];
+          const double* a0 = p0 + cols[t] * count;
+          double* slot = products + list_pos[t];
+          PTUCKER_OMP_SIMD
+          for (std::int64_t i = 0; i < count; ++i) {
+            const double coefficient = cvec[i];
+            slot[i * n_core] =
+                coefficient == 0.0 ? 0.0 : value * coefficient * a0[i];
+          }
+        }
+        break;
+      }
+      case 2: {
+        const std::int32_t* col = cols + begin * 2;
+        for (std::int64_t t = begin; t < end; ++t, col += 2) {
+          const double value = values[t];
+          const double* a0 = p0 + col[0] * count;
+          const double* a1 = p1 + col[1] * count;
+          double* slot = products + list_pos[t];
+          PTUCKER_OMP_SIMD
+          for (std::int64_t i = 0; i < count; ++i) {
+            const double coefficient = cvec[i];
+            slot[i * n_core] = coefficient == 0.0
+                                   ? 0.0
+                                   : value * coefficient * a0[i] * a1[i];
+          }
+        }
+        break;
+      }
+      default: {  // width == 3, the SimdEligible cap
+        const std::int32_t* col = cols + begin * 3;
+        for (std::int64_t t = begin; t < end; ++t, col += 3) {
+          const double value = values[t];
+          const double* a0 = p0 + col[0] * count;
+          const double* a1 = p1 + col[1] * count;
+          const double* a2 = p2 + col[2] * count;
+          double* slot = products + list_pos[t];
+          PTUCKER_OMP_SIMD
+          for (std::int64_t i = 0; i < count; ++i) {
+            const double coefficient = cvec[i];
+            slot[i * n_core] =
+                coefficient == 0.0
+                    ? 0.0
+                    : value * coefficient * a0[i] * a1[i] * a2[i];
+          }
+        }
+        break;
+      }
     }
   }
 }
+
+#undef PTUCKER_OMP_SIMD
 
 // ---------------------------------------------------------------------------
 // CachedDeltaEngine
@@ -714,7 +1214,8 @@ constexpr DeltaEngineDescriptor kDeltaEngineCatalog[] = {
     {DeltaEngineChoice::kAdaptive, "adaptive", nullptr,
      "modemajor + skip of low-|G| core groups under --adaptive-eps"},
     {DeltaEngineChoice::kTiled, "tiled", nullptr,
-     "modemajor + batch kernel over tiles of --tile-width entries"},
+     "modemajor + SIMD delta/x-hat/products kernels over tiles of "
+     "--tile-width entries"},
 };
 
 }  // namespace

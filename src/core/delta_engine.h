@@ -46,20 +46,26 @@ namespace ptucker {
 ///
 /// Adding another engine (e.g. a SIMD or GPU kernel) means subclassing
 /// (DeltaEngine directly, or ModeMajorDeltaEngine to inherit the regrouped
-/// views), overriding ComputeDelta and/or DeltaBatch (plus any optional
-/// bulk kernels worth specializing), handling the three hooks, and wiring
-/// a new enumerator through DeltaEngineChoice + DeltaEngineCatalog() +
-/// MakeDeltaEngine. See docs/architecture.md for the full walkthrough.
+/// views), overriding ComputeDelta and/or the batch kernels (DeltaBatch,
+/// ReconstructBatch, ProductsBatch — plus any optional bulk kernels worth
+/// specializing), handling the three hooks, and wiring a new enumerator
+/// through DeltaEngineChoice + DeltaEngineCatalog() + MakeDeltaEngine.
+/// See docs/architecture.md and docs/delta_engines.md for the full
+/// walkthrough.
 class DeltaEngine {
  public:
+  /// Binds the engine to (non-owning) views of the core entry list and
+  /// the factor matrices; both must outlive the engine.
   DeltaEngine(const CoreEntryList& core, const std::vector<Matrix>& factors)
       : core_(&core), factors_(&factors) {}
-  virtual ~DeltaEngine() = default;
+  virtual ~DeltaEngine() = default;  ///< Engines own only derived state.
 
-  DeltaEngine(const DeltaEngine&) = delete;
-  DeltaEngine& operator=(const DeltaEngine&) = delete;
+  DeltaEngine(const DeltaEngine&) = delete;             ///< non-copyable
+  DeltaEngine& operator=(const DeltaEngine&) = delete;  ///< non-copyable
 
+  /// The enumerator this engine was built for (kind() never is kAuto).
   virtual DeltaEngineChoice kind() const = 0;
+  /// Canonical catalog name (the `--delta-engine` token).
   virtual const char* name() const = 0;
 
   /// δ(n,α) of Eq. 12 for the entry with coordinates `entry_index`:
@@ -91,10 +97,29 @@ class DeltaEngine {
   /// Full reconstruction x̂_α (Eq. 4) at arbitrary coordinates.
   virtual double Reconstruct(const std::int64_t* entry_index) const;
 
+  /// Batch x̂: out[i] = Reconstruct(entry_indices[i]) for a tile of
+  /// `count` entries. The base implementation is a per-entry loop;
+  /// TiledDeltaEngine overrides it with a kernel that streams each core
+  /// group once per tile. Per-entry results are identical to `count`
+  /// Reconstruct calls, so metric paths may tile freely.
+  virtual void ReconstructBatch(std::int64_t count,
+                                const std::int64_t* const* entry_indices,
+                                double* out) const;
+
   /// products[b] = c_αβ = G_β Π_k A(k)(ik, jk) for every core entry, in
   /// list order — the per-pair terms of the partial error R(β) (Eq. 13).
   virtual void ComputeProducts(const std::int64_t* entry_index,
                                double* products) const;
+
+  /// Batch c_αβ: the ComputeProducts vector for each of `count` entries,
+  /// written contiguously (`products[i·|G| .. (i+1)·|G|)` belongs to tile
+  /// entry i). The base implementation is a per-entry loop;
+  /// TiledDeltaEngine overrides it with a kernel that streams each core
+  /// group once per tile. Per-entry results are identical to `count`
+  /// ComputeProducts calls, so the truncation scorer may tile freely.
+  virtual void ProductsBatch(std::int64_t count,
+                             const std::int64_t* const* entry_indices,
+                             double* products) const;
 
   /// Σ_b g[b] · Π_k A(k)(ik, jk) — one row of the core-update design
   /// matrix P applied to `g` (list order). Note: excludes G_β.
@@ -126,7 +151,9 @@ class DeltaEngine {
   virtual std::int64_t ByteSize() const { return 0; }
 
  protected:
+  /// The core entry list the engine was bound to (non-owning).
   const CoreEntryList& core() const { return *core_; }
+  /// The factor matrices the engine was bound to (non-owning).
   const std::vector<Matrix>& factors() const { return *factors_; }
 
  private:
@@ -172,6 +199,7 @@ class ModeMajorDeltaEngine : public DeltaEngine {
   ModeMajorDeltaEngine(const CoreEntryList& core,
                        const std::vector<Matrix>& factors,
                        MemoryTracker* tracker);
+  /// Releases the view bytes charged to the tracker.
   ~ModeMajorDeltaEngine() override;
 
   DeltaEngineChoice kind() const override {
@@ -195,20 +223,21 @@ class ModeMajorDeltaEngine : public DeltaEngine {
   std::int64_t ByteSize() const override { return charged_bytes_; }
 
  protected:
-  // Core entries of one mode, grouped by that mode's coordinate β_n.
-  // Group j spans [offsets[j], offsets[j+1]); within a group, entries keep
-  // list order, so per-group sums reassociate nothing vs the naive scan.
+  /// Core entries of one mode, grouped by that mode's coordinate β_n.
+  /// Group j spans [offsets[j], offsets[j+1]); within a group, entries keep
+  /// list order, so per-group sums reassociate nothing vs the naive scan.
   struct ModeView {
-    std::vector<std::int64_t> offsets;  // Jn + 1 group boundaries
-    std::vector<std::int32_t> cols;     // |G| × (N−1) β_k for k≠n, k asc.
-    std::vector<double> values;         // |G| grouped G_β
-    std::vector<std::int32_t> list_pos; // grouped position → list id
+    std::vector<std::int64_t> offsets;   ///< Jn + 1 group boundaries
+    std::vector<std::int32_t> cols;      ///< |G| × (N−1) β_k for k≠n, k asc.
+    std::vector<double> values;          ///< |G| grouped G_β
+    std::vector<std::int32_t> list_pos;  ///< grouped position → list id
   };
 
-  // Supported tensor order; the stack-resident factor-row pointer arrays
-  // in the hot kernels are sized by this.
+  /// Supported tensor order; the stack-resident factor-row pointer arrays
+  /// in the hot kernels are sized by this.
   static constexpr std::int64_t kMaxOrder = 32;
 
+  /// The regrouped view of mode `mode` (one per tensor mode).
   const ModeView& view(std::int64_t mode) const {
     return views_[static_cast<std::size_t>(mode)];
   }
@@ -261,6 +290,7 @@ class AdaptiveDeltaEngine final : public ModeMajorDeltaEngine {
   void OnCoreValuesChanged() override;
   void OnCoreEntriesRemoved(const std::vector<char>& removed) override;
 
+  /// The error budget the engine was built with.
   double epsilon() const { return epsilon_; }
 
   /// Groups currently skipped in mode `mode`'s view (for tests/benches).
@@ -274,21 +304,53 @@ class AdaptiveDeltaEngine final : public ModeMajorDeltaEngine {
 };
 
 /// Tiled batch engine (cuFasterTucker-style, Li et al., PAPERS.md): the
-/// mode-major regrouped views plus a native DeltaBatch kernel that
-/// evaluates δ for a tile of up to `tile_width` entries simultaneously.
-/// Each core group's value/column stream is read once per tile instead of
-/// once per entry, and the tile-wide accumulators form B independent
-/// dependency chains, so the inner loop is throughput-bound instead of
-/// serialised on one running sum — the CPU stepping stone to SIMD/GPU
-/// batching. Per-entry multiply/accumulate order equals the mode-major
-/// scan's, so batch results are bit-identical to it for any tile width.
-/// Single-entry calls (ComputeDelta, Reconstruct, …) inherit the
-/// mode-major kernels unchanged.
+/// mode-major regrouped views plus native DeltaBatch / ReconstructBatch /
+/// ProductsBatch kernels that evaluate a tile of up to `tile_width`
+/// entries simultaneously. Each core group's value/column stream is read
+/// once per tile instead of once per entry, and the tile-wide accumulators
+/// form B independent dependency chains, so the inner loop is
+/// throughput-bound instead of serialised on one running sum.
+///
+/// Each batch call picks between two kernels per tile:
+///
+///   - The **SIMD kernel** first packs the tile's factor rows into
+///     transposed scratch (`packed[w][c·B + i]` = lane i's coefficient for
+///     column c of the w-th non-mode factor), so the `#pragma omp simd`
+///     lane loops read unit-stride vectors instead of chasing B row
+///     pointers per streamed core entry — the CPU analogue of
+///     cuFasterTucker staging factor rows in shared memory. Lanes are
+///     independent accumulator chains, so vectorizing across them
+///     reassociates nothing within any per-entry sum.
+///   - The **scalar fallback** keeps per-lane row pointers and plain
+///     loops. A runtime check (SimdEligible) steers tiles that are too
+///     short to amortize the pack, tensors whose order or ranks exceed
+///     the pack scratch bounds, and every call in a build without OpenMP
+///     SIMD onto it. Both kernels produce the same bits.
+///
+/// Per-entry multiply/accumulate order equals the mode-major scan's, so
+/// batch results are bit-identical to it for any tile width. Single-entry
+/// calls (ComputeDelta, Reconstruct, …) inherit the mode-major kernels
+/// unchanged.
 class TiledDeltaEngine final : public ModeMajorDeltaEngine {
  public:
   /// Hard upper bound on the tile width (sizes the kernel's stack
   /// buffers); wider requests are clamped.
   static constexpr std::int64_t kMaxTile = 64;
+
+  /// Shortest tile the SIMD kernels are worth entering: the transposed
+  /// row pack is amortized only once a tile spans many vector registers,
+  /// so shorter tiles (including every partial trailing tile) take the
+  /// scalar fallback, which computes identical bits.
+  static constexpr std::int64_t kSimdMinTile = 32;
+
+  /// Widest non-mode slot count (order − 1) the SIMD kernels pack for;
+  /// higher orders take the scalar fallback.
+  static constexpr std::int64_t kMaxPackWidth = 3;
+
+  /// Largest per-mode rank the SIMD kernels pack for (bounds the stack
+  /// scratch at kMaxPackWidth·kMaxTile·kMaxPackRank doubles); larger
+  /// ranks take the scalar fallback.
+  static constexpr std::int64_t kMaxPackRank = 32;
 
   /// `tile_width` must be >= 1; it is clamped to kMaxTile.
   TiledDeltaEngine(const CoreEntryList& core,
@@ -302,12 +364,54 @@ class TiledDeltaEngine final : public ModeMajorDeltaEngine {
                   const std::int64_t* const* entry_indices, std::int64_t mode,
                   double* deltas) const override;
 
+  void ReconstructBatch(std::int64_t count,
+                        const std::int64_t* const* entry_indices,
+                        double* out) const override;
+
+  void ProductsBatch(std::int64_t count,
+                     const std::int64_t* const* entry_indices,
+                     double* products) const override;
+
   std::int64_t PreferredBatch() const override { return tile_; }
 
  private:
-  // One tile of <= tile_ entries against every group of `mode`'s view.
-  void TileKernel(const std::int64_t* const* entry_indices, std::int64_t count,
-                  std::int64_t mode, double* deltas) const;
+  /// The runtime check in front of every SIMD kernel: true when the tile
+  /// is long enough to amortize the row pack and the non-`mode` factor
+  /// ranks fit the pack scratch (width ∈ [1, kMaxPackWidth], every rank
+  /// <= kMaxPackRank) in a build with OpenMP SIMD.
+  bool SimdEligible(std::int64_t count, std::int64_t mode) const;
+
+  /// Scalar δ tile kernel: per-lane factor-row pointers, plain loops.
+  void TileKernelScalar(const std::int64_t* const* entry_indices,
+                        std::int64_t count, std::int64_t mode,
+                        double* deltas) const;
+
+  /// SIMD δ tile kernel: transposed row pack + `#pragma omp simd` lane
+  /// loops. Bit-identical to the scalar kernel.
+  void TileKernelSimd(const std::int64_t* const* entry_indices,
+                      std::int64_t count, std::int64_t mode,
+                      double* deltas) const;
+
+  /// Scalar x̂ tile kernel against view 0, carrying each lane's mode-0
+  /// coefficient exactly like the mode-major Reconstruct (group skipped
+  /// per lane when its coefficient is zero).
+  void ReconstructTileScalar(const std::int64_t* const* entry_indices,
+                             std::int64_t count, double* out) const;
+
+  /// SIMD x̂ tile kernel (transposed row pack). Bit-identical to scalar.
+  void ReconstructTileSimd(const std::int64_t* const* entry_indices,
+                           std::int64_t count, double* out) const;
+
+  /// Scalar c_αβ tile kernel against view 0, scattered to list order per
+  /// lane (stride core().size()), preserving ComputeProducts' multiply
+  /// order and its exact-0 writes for zero coefficients.
+  void ProductsTileScalar(const std::int64_t* const* entry_indices,
+                          std::int64_t count, double* products) const;
+
+  /// SIMD c_αβ tile kernel (transposed row pack). Bit-identical to
+  /// scalar.
+  void ProductsTileSimd(const std::int64_t* const* entry_indices,
+                        std::int64_t count, double* products) const;
 
   std::int64_t tile_;
 };
@@ -320,6 +424,8 @@ class TiledDeltaEngine final : public ModeMajorDeltaEngine {
 /// entry-major scan — the table's time-for-memory trade only pays in δ.
 class CachedDeltaEngine final : public DeltaEngine {
  public:
+  /// Builds the Pres table over the observed entries of `x` (charged to
+  /// `tracker`; throws OutOfMemoryBudget when over budget).
   CachedDeltaEngine(const SparseTensor& x, const CoreEntryList& core,
                     const std::vector<Matrix>& factors,
                     MemoryTracker* tracker);
@@ -337,6 +443,7 @@ class CachedDeltaEngine final : public DeltaEngine {
 
   std::int64_t ByteSize() const override { return table_->ByteSize(); }
 
+  /// The underlying Pres table (for tests and the Fig. 8 bench).
   const CacheTable& table() const { return *table_; }
 
  private:

@@ -78,6 +78,8 @@ struct PTuckerOptions {
   /// below this.
   double tolerance = 1e-4;
 
+  /// Which P-Tucker algorithm to run (§III-C): memory-optimized, cached,
+  /// or approx (core truncation).
   PTuckerVariant variant = PTuckerVariant::kMemory;
 
   /// δ-computation engine. kAuto lets the variant choose; an explicit
@@ -88,13 +90,22 @@ struct PTuckerOptions {
   /// core magnitude Σ_β |G_β| per regrouped view. Groups are skipped
   /// smallest-first while their cumulative |G_β| mass stays ≤ ε · Σ|G_β|,
   /// bounding the δ error by ε · Σ|G_β| · max|A|^(N−1) per component sum.
+  /// Only δ is lossy: the engine's reconstruction/products/design kernels
+  /// stay exact, so error metrics and truncation scores never degrade.
   /// 0 (default) skips nothing and is bit-identical to kModeMajor; must be
   /// in [0, 1). Ignored by the other engines.
   double adaptive_epsilon = 0.0;
 
-  /// Entries per DeltaBatch tile of the kTiled engine. Must be >= 1;
-  /// clamped to the engine's compile-time kMaxTile. Ignored by the other
-  /// engines (they batch with width 1).
+  /// Entries per batch tile of the kTiled engine — the width of its
+  /// DeltaBatch, ReconstructBatch, and ProductsBatch kernels, which the
+  /// solver row update, the reconstruction/test-RMSE metrics, and the
+  /// approx truncation scorer all consume (each consuming tiles in entry
+  /// order, so results are bit-identical at every width). Must be >= 1;
+  /// clamped to the engine's compile-time kMaxTile (64). Tiles below
+  /// TiledDeltaEngine::kSimdMinTile (32) — including this default — run
+  /// the scalar tile kernels; the packed `#pragma omp simd` kernels,
+  /// which pay only at wide tiles, need tile_width >= 32. Ignored by the
+  /// other engines (they batch with width 1).
   std::int64_t tile_width = kDefaultTileWidth;
 
   /// Truncation rate p per iteration (P-TUCKER-APPROX only). Paper: 0.2.
@@ -103,6 +114,8 @@ struct PTuckerOptions {
   /// Worker threads T; 0 uses the OpenMP default.
   int num_threads = 0;
 
+  /// OpenMP scheduling of the row updates (§III-D); dynamic is the
+  /// paper's careful distribution of work, static the naive ablation.
   Scheduling scheduling = Scheduling::kDynamic;
 
   /// Seed for the Uniform[0,1) initialization of factors and core.

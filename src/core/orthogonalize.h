@@ -1,3 +1,6 @@
+/// \file
+/// \brief Final factor orthogonalization (Algorithm 2 lines 8-11): QR per
+/// mode with the triangular factors folded into the core (Eqs. 7-8).
 #ifndef PTUCKER_CORE_ORTHOGONALIZE_H_
 #define PTUCKER_CORE_ORTHOGONALIZE_H_
 

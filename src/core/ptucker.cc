@@ -191,12 +191,15 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
 
   // Intermediate data of the default variant: per-thread B and the solved
   // row + c (J²+2J), the δ tile (batch·J) and its entry ids/coordinate
-  // pointers/values (3·batch words) — still the O(T J²) of Theorem 4 for
-  // the default batch-1 engines.
+  // pointers/values (3·batch words), plus the reconstruction-error tile
+  // (coordinate pointers, observed values, and x̂ — 3·batch words) used by
+  // the metric path — still the O(T J²) of Theorem 4 for the default
+  // batch-1 engines. (The truncation scorer's batch·|G| products scratch
+  // is charged inside ComputePartialErrors, where |G| is current.)
   const std::int64_t scratch_bytes =
       static_cast<std::int64_t>(threads) *
       static_cast<std::int64_t>(sizeof(double)) *
-      (max_rank * max_rank + 2 * max_rank + batch * max_rank + 3 * batch);
+      (max_rank * max_rank + 2 * max_rank + batch * max_rank + 6 * batch);
   ScopedCharge scratch_charge(tracker, scratch_bytes);
 
   PTuckerResult result;
@@ -336,7 +339,7 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
     if (options.variant == PTuckerVariant::kApprox && !is_last_iteration) {
       const std::int64_t removed = TruncateNoisyEntries(
           x, &core, &core_list, factors, options.truncation_rate,
-          engine.get());
+          engine.get(), tracker);
       stats.core_nnz = core_list.size();
       if (options.verbose && removed > 0) {
         PTUCKER_LOG(kInfo) << "iteration " << iteration << ": truncated "

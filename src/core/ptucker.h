@@ -18,18 +18,21 @@ namespace ptucker {
 
 /// A fitted Tucker model: X ≈ G ×1 A(1) ··· ×N A(N).
 struct TuckerFactorization {
-  std::vector<Matrix> factors;  // A(n) ∈ R^{In×Jn}
-  DenseTensor core;             // G ∈ R^{J1×…×JN}
+  std::vector<Matrix> factors;  ///< A(n) ∈ R^{In×Jn}
+  DenseTensor core;             ///< G ∈ R^{J1×…×JN}
 
   /// Predicted value at a coordinate (Eq. 4) — the paper's missing-entry
   /// estimate, *not* zero.
   double Predict(const std::int64_t* index) const;
+  /// Vector-coordinate convenience overload of Predict.
   double Predict(const std::vector<std::int64_t>& index) const;
 };
 
 /// Outcome of a P-Tucker run.
 struct PTuckerResult {
+  /// The fitted model (factors orthogonalized when the option is on).
   TuckerFactorization model;
+  /// Per-iteration error/time/memory measurements.
   std::vector<IterationStats> iterations;
   /// True if the error converged before max_iterations.
   bool converged = false;

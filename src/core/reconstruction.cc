@@ -1,5 +1,6 @@
 #include "core/reconstruction.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/delta_engine.h"
@@ -9,14 +10,67 @@ namespace ptucker {
 
 namespace {
 
+// Per-thread worker of SquaredResidualSum: buffers consecutive entries
+// into a tile of the engine's preferred width, reconstructs the tile with
+// one ReconstructBatch call, and adds the squared residuals in entry
+// order. ReconstructBatch equals a per-entry Reconstruct loop on every
+// engine, and with the blocked deterministic sum's static partition the
+// additions happen in exactly the per-entry order — so the sum is
+// bit-identical to the unbatched flow for any batch width.
+class ResidualWorker {
+ public:
+  ResidualWorker(const SparseTensor& x, const DeltaEngine& engine,
+                 std::int64_t batch)
+      : x_(&x), engine_(&engine), batch_(batch) {
+    if (batch_ > 1) {
+      indices_.resize(static_cast<std::size_t>(batch_));
+      observed_.resize(static_cast<std::size_t>(batch_));
+      predicted_.resize(static_cast<std::size_t>(batch_));
+    }
+  }
+
+  void operator()(std::int64_t e, double* local) {
+    if (batch_ == 1) {
+      // Batch-1 engines keep the direct per-entry hot path.
+      const double residual =
+          x_->value(e) - engine_->Reconstruct(x_->index(e));
+      *local += residual * residual;
+      return;
+    }
+    indices_[static_cast<std::size_t>(pending_)] = x_->index(e);
+    observed_[static_cast<std::size_t>(pending_)] = x_->value(e);
+    if (++pending_ == batch_) Flush(local);
+  }
+
+  void Flush(double* local) {
+    if (pending_ == 0) return;
+    engine_->ReconstructBatch(pending_, indices_.data(), predicted_.data());
+    for (std::int64_t i = 0; i < pending_; ++i) {
+      const double residual = observed_[static_cast<std::size_t>(i)] -
+                              predicted_[static_cast<std::size_t>(i)];
+      *local += residual * residual;
+    }
+    pending_ = 0;
+  }
+
+ private:
+  const SparseTensor* x_;
+  const DeltaEngine* engine_;
+  std::int64_t batch_;
+  std::int64_t pending_ = 0;
+  std::vector<const std::int64_t*> indices_;
+  std::vector<double> observed_;
+  std::vector<double> predicted_;
+};
+
 // Σ (X_α − x̂_α)² in parallel; the building block of both metrics.
-// Deterministic combine order so fixed-seed solves are bit-reproducible.
+// Deterministic combine order so fixed-seed solves are bit-reproducible;
+// tiled through ReconstructBatch when the engine has a real batch kernel.
 double SquaredResidualSum(const SparseTensor& x, const DeltaEngine& engine) {
-  return DeterministicParallelSum(x.nnz(), [&](std::int64_t e) {
-    const double predicted = engine.Reconstruct(x.index(e));
-    const double residual = x.value(e) - predicted;
-    return residual * residual;
-  });
+  const std::int64_t batch =
+      std::max<std::int64_t>(1, engine.PreferredBatch());
+  return DeterministicParallelBlockedSum(
+      x.nnz(), [&] { return ResidualWorker(x, engine, batch); });
 }
 
 }  // namespace
@@ -54,17 +108,46 @@ double TestRmse(const SparseTensor& test, const DenseTensor& core,
 }
 
 std::vector<double> PredictEntries(const SparseTensor& query,
+                                   const DeltaEngine& engine) {
+  const std::int64_t batch =
+      std::max<std::int64_t>(1, engine.PreferredBatch());
+  std::vector<double> predictions(static_cast<std::size_t>(query.nnz()));
+#pragma omp parallel
+  {
+    // With static scheduling each thread's entries are consecutive, so a
+    // buffered tile always maps to a contiguous span of the output and
+    // ReconstructBatch can write it directly.
+    std::vector<const std::int64_t*> tile(static_cast<std::size_t>(batch));
+    std::int64_t tile_start = 0;
+    std::int64_t pending = 0;
+    const auto flush = [&] {
+      if (pending == 0) return;
+      engine.ReconstructBatch(pending, tile.data(),
+                              predictions.data() + tile_start);
+      pending = 0;
+    };
+#pragma omp for schedule(static)
+    for (std::int64_t e = 0; e < query.nnz(); ++e) {
+      if (batch == 1) {
+        predictions[static_cast<std::size_t>(e)] =
+            engine.Reconstruct(query.index(e));
+        continue;
+      }
+      if (pending == 0) tile_start = e;
+      tile[static_cast<std::size_t>(pending)] = query.index(e);
+      if (++pending == batch) flush();
+    }
+    flush();
+  }
+  return predictions;
+}
+
+std::vector<double> PredictEntries(const SparseTensor& query,
                                    const DenseTensor& core,
                                    const std::vector<Matrix>& factors) {
   const CoreEntryList list(core);
   const NaiveDeltaEngine engine(list, factors);
-  std::vector<double> predictions(static_cast<std::size_t>(query.nnz()));
-#pragma omp parallel for schedule(static)
-  for (std::int64_t e = 0; e < query.nnz(); ++e) {
-    predictions[static_cast<std::size_t>(e)] =
-        engine.Reconstruct(query.index(e));
-  }
-  return predictions;
+  return PredictEntries(query, engine);
 }
 
 }  // namespace ptucker

@@ -2,7 +2,8 @@
 /// \brief Model-quality metrics: reconstruction error over observed
 /// entries (Eq. 5), held-out test RMSE (Fig. 11), and bulk entry
 /// prediction — all routed through a DeltaEngine with deterministic
-/// (thread-ordered) parallel reductions.
+/// (thread-ordered) parallel reductions, tiled through
+/// DeltaEngine::ReconstructBatch when the engine has a batch kernel.
 #ifndef PTUCKER_CORE_RECONSTRUCTION_H_
 #define PTUCKER_CORE_RECONSTRUCTION_H_
 
@@ -20,8 +21,12 @@ class DeltaEngine;
 /// Reconstruction error over observed entries (Eq. 5):
 /// √ Σ_{α∈Ω} (X_α − x̂_α)². Parallelized over entries with static
 /// scheduling (§III-D section 3). Every overload routes x̂ through a
-/// DeltaEngine; the list/dense forms use the entry-major oracle.
+/// DeltaEngine; the list/dense forms use the entry-major oracle. Entries
+/// are tiled through ReconstructBatch in PreferredBatch()-sized tiles
+/// and their residuals summed in entry order, so the result is
+/// bit-identical to a per-entry scan for every engine and batch width.
 double ReconstructionError(const SparseTensor& x, const DeltaEngine& engine);
+/// Entry-major-oracle overload of ReconstructionError.
 double ReconstructionError(const SparseTensor& x, const CoreEntryList& core,
                            const std::vector<Matrix>& factors);
 
@@ -32,15 +37,23 @@ double ReconstructionError(const SparseTensor& x, const DenseTensor& core,
 /// Test root-mean-square error over the entries of `test` — the paper's
 /// missing-entry prediction metric (Fig. 11, right). The engine overload
 /// reconstructs arbitrary coordinates, so `test` need not be the tensor
-/// the engine was built over.
+/// the engine was built over. Tiled like ReconstructionError.
 double TestRmse(const SparseTensor& test, const DeltaEngine& engine);
+/// Entry-major-oracle overload of TestRmse.
 double TestRmse(const SparseTensor& test, const CoreEntryList& core,
                 const std::vector<Matrix>& factors);
+/// Convenience overload building the entry list from a dense core.
 double TestRmse(const SparseTensor& test, const DenseTensor& core,
                 const std::vector<Matrix>& factors);
 
 /// Predicted values x̂ (Eq. 4) for every entry coordinate in `query`
-/// (values of `query` are ignored).
+/// (values of `query` are ignored), through `engine` — tiled with
+/// ReconstructBatch, so a batch engine amortizes the core scan.
+std::vector<double> PredictEntries(const SparseTensor& query,
+                                   const DeltaEngine& engine);
+
+/// Convenience overload predicting through the entry-major oracle built
+/// from a dense core.
 std::vector<double> PredictEntries(const SparseTensor& query,
                                    const DenseTensor& core,
                                    const std::vector<Matrix>& factors);

@@ -1,3 +1,6 @@
+/// \file
+/// \brief Per-iteration solver measurements (IterationStats) shared by
+/// every decomposition method and the benchmark harness.
 #ifndef PTUCKER_CORE_TRACE_H_
 #define PTUCKER_CORE_TRACE_H_
 
@@ -10,6 +13,7 @@ namespace ptucker {
 /// The benchmark harness prints these as the paper's time/error series
 /// (Figs. 6-11 all report either time-per-iteration or error-vs-time).
 struct IterationStats {
+  /// 1-based ALS iteration number.
   int iteration = 0;
   /// Reconstruction error over observed entries (Eq. 5).
   double error = 0.0;

@@ -1,7 +1,8 @@
 /// \file
 /// \brief P-TUCKER-APPROX core truncation (Algorithm 4): partial
 /// reconstruction errors R(β) (Eq. 13) and removal of the noisiest core
-/// entries, with DeltaEngine-aware scoring and removal notification.
+/// entries, with DeltaEngine-aware scoring (tiled through
+/// DeltaEngine::ProductsBatch) and removal notification.
 #ifndef PTUCKER_CORE_TRUNCATION_H_
 #define PTUCKER_CORE_TRUNCATION_H_
 
@@ -12,6 +13,7 @@
 #include "linalg/matrix.h"
 #include "tensor/dense_tensor.h"
 #include "tensor/sparse_tensor.h"
+#include "util/memory_tracker.h"
 
 namespace ptucker {
 
@@ -30,22 +32,29 @@ class DeltaEngine;
 /// R(β) for every entry of `core`, in list order. O(|Ω|·|G|·N), parallel
 /// over observed entries with a deterministic (thread-ordered) merge. The
 /// per-(α,β) products come from `engine` when given, else from an
-/// entry-major scan.
+/// entry-major scan; entries are tiled through ProductsBatch in
+/// PreferredBatch()-sized tiles and consumed in entry order, so the
+/// scores are bit-identical to a per-entry scan for every engine and
+/// batch width. The per-thread tile scratch (T · batch · |G| doubles) is
+/// charged to `tracker` for the duration of the scan when given.
 std::vector<double> ComputePartialErrors(const SparseTensor& x,
                                          const CoreEntryList& core,
                                          const std::vector<Matrix>& factors,
-                                         const DeltaEngine* engine = nullptr);
+                                         const DeltaEngine* engine = nullptr,
+                                         MemoryTracker* tracker = nullptr);
 
 /// Removes the top-⌊p·|G|⌋ entries by R(β) from `core_list` and zeroes
 /// them in `core` (Algorithm 4). Always keeps at least one entry. Returns
 /// the number removed. When `engine` is given it both scores the entries
 /// and is notified of the removal (OnCoreEntriesRemoved), keeping its
-/// derived state consistent with the compacted list.
+/// derived state consistent with the compacted list. `tracker` is passed
+/// through to ComputePartialErrors for the scoring scratch.
 std::int64_t TruncateNoisyEntries(const SparseTensor& x, DenseTensor* core,
                                   CoreEntryList* core_list,
                                   const std::vector<Matrix>& factors,
                                   double truncation_rate,
-                                  DeltaEngine* engine = nullptr);
+                                  DeltaEngine* engine = nullptr,
+                                  MemoryTracker* tracker = nullptr);
 
 }  // namespace ptucker
 

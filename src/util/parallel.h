@@ -1,8 +1,17 @@
+/// \file
+/// \brief Deterministic parallel reductions: scalar/vector sums whose
+/// per-thread partials are combined sequentially in thread order (unlike
+/// OpenMP `reduction`, which combines in completion order). The blocked
+/// variants accept workers that buffer tiles of consecutive indices; the
+/// plain variants are thin wrappers over them with a no-op Flush, so the
+/// two families share one partition/combine implementation by
+/// construction.
 #ifndef PTUCKER_UTIL_PARALLEL_H_
 #define PTUCKER_UTIL_PARALLEL_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #ifdef _OPENMP
@@ -11,24 +20,37 @@
 
 namespace ptucker {
 
-/// Sums `term(i)` for i in [0, n) in parallel with a run-to-run
-/// deterministic result for a fixed thread count: each thread accumulates
-/// its static contiguous block in index order, and the per-thread partials
-/// are combined sequentially in thread order.
+/// DeterministicParallelSum for workers that buffer consecutive indices
+/// into tiles (e.g. to feed DeltaEngine batch kernels). `make_worker()`
+/// runs once per thread and returns an object exposing
+///   `void operator()(std::int64_t i, double* local)` and
+///   `void Flush(double* local)`;
+/// the worker may defer accumulating into `local` until Flush, which is
+/// called exactly once after the thread's static contiguous index block
+/// is exhausted (so a partial trailing tile is never dropped).
 ///
-/// A plain `reduction(+ : total)` is NOT deterministic — OpenMP combines
-/// the private partials in thread *completion* order, so floating-point
-/// sums differ between otherwise identical runs.
-template <typename TermFn>
-double DeterministicParallelSum(std::int64_t n, TermFn&& term) {
+/// Each thread accumulates its `schedule(static)` contiguous block in
+/// index order and the per-thread partials are combined sequentially in
+/// thread order — run-to-run deterministic for a fixed thread count,
+/// unlike a plain OpenMP `reduction(+:…)`, which combines the private
+/// partials in thread *completion* order. Because static scheduling
+/// hands each thread one contiguous, increasing index range, a worker
+/// that buffers consecutive indices and accumulates tile results in
+/// index order produces a total that is bit-identical to the per-index
+/// flow, for any tile width.
+template <typename WorkerFactory>
+double DeterministicParallelBlockedSum(std::int64_t n,
+                                       WorkerFactory&& make_worker) {
 #ifdef _OPENMP
   std::vector<double> partials(
       static_cast<std::size_t>(omp_get_max_threads()), 0.0);
 #pragma omp parallel
   {
     double local = 0.0;
+    auto worker = make_worker();
 #pragma omp for schedule(static)
-    for (std::int64_t i = 0; i < n; ++i) local += term(i);
+    for (std::int64_t i = 0; i < n; ++i) worker(i, &local);
+    worker.Flush(&local);
     partials[static_cast<std::size_t>(omp_get_thread_num())] = local;
   }
   double total = 0.0;
@@ -36,23 +58,21 @@ double DeterministicParallelSum(std::int64_t n, TermFn&& term) {
   return total;
 #else
   double total = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) total += term(i);
+  auto worker = make_worker();
+  for (std::int64_t i = 0; i < n; ++i) worker(i, &total);
+  worker.Flush(&total);
   return total;
 #endif
 }
 
-/// Vector-valued counterpart of DeterministicParallelSum: fills
-/// `out[0..width)` with Σ_i contribution(i), where each i adds into a
-/// width-sized accumulator. `make_worker()` runs once per thread and
-/// returns a callable `worker(i, double* local)` that may own per-thread
-/// scratch; workers accumulate their static contiguous index block into
-/// `local`, and the per-thread partials are combined sequentially in
-/// thread order — run-to-run deterministic for a fixed thread count,
-/// unlike an `omp critical` merge (completion order) or atomics.
+/// Vector-valued counterpart of DeterministicParallelBlockedSum: the
+/// same worker contract (`operator()(i, double* local)` + one
+/// `Flush(local)` per thread after its block), with `local` pointing at
+/// a width-sized accumulator, and the same partition/combine guarantees.
 template <typename WorkerFactory>
-void DeterministicParallelVectorSum(std::int64_t n, std::size_t width,
-                                    double* out,
-                                    WorkerFactory&& make_worker) {
+void DeterministicParallelBlockedVectorSum(std::int64_t n, std::size_t width,
+                                           double* out,
+                                           WorkerFactory&& make_worker) {
 #ifdef _OPENMP
   std::vector<std::vector<double>> partials(
       static_cast<std::size_t>(omp_get_max_threads()));
@@ -63,6 +83,7 @@ void DeterministicParallelVectorSum(std::int64_t n, std::size_t width,
     auto worker = make_worker();
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < n; ++i) worker(i, local.data());
+    worker.Flush(local.data());
   }
   for (std::size_t j = 0; j < width; ++j) out[j] = 0.0;
   for (const auto& local : partials) {
@@ -73,7 +94,54 @@ void DeterministicParallelVectorSum(std::int64_t n, std::size_t width,
   for (std::size_t j = 0; j < width; ++j) out[j] = 0.0;
   auto worker = make_worker();
   for (std::int64_t i = 0; i < n; ++i) worker(i, out);
+  worker.Flush(out);
 #endif
+}
+
+namespace internal {
+
+/// Adapts a per-index scalar term to the blocked-worker contract.
+template <typename TermFn>
+struct TermWorker {
+  TermFn& term;
+  void operator()(std::int64_t i, double* local) { *local += term(i); }
+  void Flush(double* /*local*/) {}
+};
+
+/// Adapts a per-index vector worker (no Flush) to the blocked contract.
+template <typename Worker>
+struct NoFlushWorker {
+  Worker worker;
+  void operator()(std::int64_t i, double* local) { worker(i, local); }
+  void Flush(double* /*local*/) {}
+};
+
+}  // namespace internal
+
+/// Sums `term(i)` for i in [0, n) in parallel with a run-to-run
+/// deterministic result for a fixed thread count (see
+/// DeterministicParallelBlockedSum, which this wraps with a no-op
+/// Flush — guaranteeing the per-index and blocked flows share one
+/// partition/combine implementation).
+template <typename TermFn>
+double DeterministicParallelSum(std::int64_t n, TermFn&& term) {
+  return DeterministicParallelBlockedSum(
+      n, [&term] { return internal::TermWorker<TermFn>{term}; });
+}
+
+/// Vector-valued counterpart of DeterministicParallelSum: fills
+/// `out[0..width)` with Σ_i contribution(i). `make_worker()` runs once
+/// per thread and returns a callable `worker(i, double* local)` that may
+/// own per-thread scratch. Wraps DeterministicParallelBlockedVectorSum
+/// with a no-op Flush — same partition/combine guarantees, no
+/// `omp critical` or atomics anywhere on a merge path.
+template <typename WorkerFactory>
+void DeterministicParallelVectorSum(std::int64_t n, std::size_t width,
+                                    double* out,
+                                    WorkerFactory&& make_worker) {
+  DeterministicParallelBlockedVectorSum(n, width, out, [&make_worker] {
+    return internal::NoFlushWorker<decltype(make_worker())>{make_worker()};
+  });
 }
 
 }  // namespace ptucker

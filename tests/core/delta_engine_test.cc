@@ -2,11 +2,12 @@
 // mode-major, cached, adaptive (ε = 0) and tiled (B ∈ {1, 4, 32}) engines
 // must agree with the naive entry-major oracle on every kernel, stay
 // consistent through core-list mutations (Remove, RefreshValues) and
-// factor updates, and hold across thread counts. DeltaBatch must equal a
-// per-entry ComputeDelta loop on every engine, adaptive ε > 0 must stay
-// inside its documented error budget, and the solver-level guarantees are
-// pinned: exact engines produce the same trajectories, each
-// bit-reproducibly.
+// factor updates, and hold across thread counts. Every batch entry point
+// (DeltaBatch, ReconstructBatch, ProductsBatch) must equal its per-entry
+// loop on every engine, adaptive ε > 0 must stay inside its documented
+// error budget, and the solver-level guarantees are pinned: exact engines
+// produce the same trajectories — including the batched truncation and
+// metric paths at every tile width — each bit-reproducibly.
 #include "core/delta_engine.h"
 
 #include <cmath>
@@ -17,6 +18,7 @@
 #include <omp.h>
 
 #include "core/ptucker.h"
+#include "core/reconstruction.h"
 #include "core/truncation.h"
 #include "data/synthetic.h"
 #include "util/random.h"
@@ -131,10 +133,53 @@ void ExpectBatchMatchesLoop(const Ctx& s, const DeltaEngine& engine) {
   }
 }
 
+// ReconstructBatch over every observed entry at once must equal the
+// per-entry Reconstruct loop bit-for-bit — for every engine, including
+// partial final tiles and (for the tiled engine at B >= its SIMD
+// threshold) the packed SIMD reconstruct kernel.
+void ExpectReconstructBatchMatchesLoop(const Ctx& s,
+                                       const DeltaEngine& engine) {
+  const std::int64_t nnz = s.x.nnz();
+  std::vector<const std::int64_t*> indices(static_cast<std::size_t>(nnz));
+  for (std::int64_t e = 0; e < nnz; ++e) {
+    indices[static_cast<std::size_t>(e)] = s.x.index(e);
+  }
+  std::vector<double> batched(static_cast<std::size_t>(nnz));
+  engine.ReconstructBatch(nnz, indices.data(), batched.data());
+  for (std::int64_t e = 0; e < nnz; ++e) {
+    EXPECT_EQ(batched[static_cast<std::size_t>(e)],
+              engine.Reconstruct(s.x.index(e)))
+        << engine.name() << " reconstruct batch, entry " << e;
+  }
+}
+
+// ProductsBatch over every observed entry at once must equal the
+// per-entry ComputeProducts loop bit-for-bit — same coverage notes as
+// ExpectReconstructBatchMatchesLoop.
+void ExpectProductsBatchMatchesLoop(const Ctx& s, const DeltaEngine& engine) {
+  const std::int64_t nnz = s.x.nnz();
+  const std::int64_t n_core = s.list.size();
+  std::vector<const std::int64_t*> indices(static_cast<std::size_t>(nnz));
+  for (std::int64_t e = 0; e < nnz; ++e) {
+    indices[static_cast<std::size_t>(e)] = s.x.index(e);
+  }
+  std::vector<double> batched(static_cast<std::size_t>(nnz * n_core));
+  engine.ProductsBatch(nnz, indices.data(), batched.data());
+  std::vector<double> single(static_cast<std::size_t>(n_core));
+  for (std::int64_t e = 0; e < nnz; ++e) {
+    engine.ComputeProducts(s.x.index(e), single.data());
+    for (std::int64_t b = 0; b < n_core; ++b) {
+      EXPECT_EQ(batched[static_cast<std::size_t>(e * n_core + b)],
+                single[static_cast<std::size_t>(b)])
+          << engine.name() << " products batch, entry " << e << " core " << b;
+    }
+  }
+}
+
 // Asserts every engine kernel agrees with the naive oracle within 1e-12
 // over all observed entries, that the regrouped derivatives (adaptive at
 // ε = 0, tiled at every width) are bit-identical to mode-major, and that
-// DeltaBatch equals the per-entry loop on every engine.
+// every batch entry point equals its per-entry loop on every engine.
 void ExpectEnginesAgree(const Ctx& s, const Engines& e) {
   {
     const std::int64_t order = s.x.order();
@@ -161,13 +206,14 @@ void ExpectEnginesAgree(const Ctx& s, const Engines& e) {
       }
     }
   }
-  ExpectBatchMatchesLoop(s, e.naive);
-  ExpectBatchMatchesLoop(s, e.mode_major);
-  ExpectBatchMatchesLoop(s, e.cached);
-  ExpectBatchMatchesLoop(s, e.adaptive0);
-  ExpectBatchMatchesLoop(s, e.tiled1);
-  ExpectBatchMatchesLoop(s, e.tiled4);
-  ExpectBatchMatchesLoop(s, e.tiled32);
+  const DeltaEngine* all_engines[] = {&e.naive,  &e.mode_major, &e.cached,
+                                      &e.adaptive0, &e.tiled1,  &e.tiled4,
+                                      &e.tiled32};
+  for (const DeltaEngine* engine : all_engines) {
+    ExpectBatchMatchesLoop(s, *engine);
+    ExpectReconstructBatchMatchesLoop(s, *engine);
+    ExpectProductsBatchMatchesLoop(s, *engine);
+  }
   const std::int64_t order = s.x.order();
   const std::int64_t n_core = s.list.size();
   std::vector<double> g(static_cast<std::size_t>(n_core));
@@ -501,6 +547,60 @@ TEST(DeltaEngineTest, TruncationKeepsEnginesConsistent) {
   }
 }
 
+TEST(DeltaEngineTest, BatchedMetricsMatchPerEntryBitForBit) {
+  // The metric paths tile entries through ReconstructBatch; since the
+  // tiled kernels are bit-identical to mode-major per entry and the
+  // blocked deterministic sums add residuals in entry order, whole
+  // metrics must be EXPECT_EQ across engines and tile widths — including
+  // widths that exercise the packed SIMD kernel (B >= kSimdMinTile) and
+  // partial trailing tiles (nnz is no multiple of any width here).
+  Ctx s = MakeCtx(3, 5, 37);
+  ModeMajorDeltaEngine mode_major(s.list, s.factors, nullptr);
+  const double expected_error = ReconstructionError(s.x, mode_major);
+  const double expected_rmse = TestRmse(s.x, mode_major);
+  const std::vector<double> expected_pred = PredictEntries(s.x, mode_major);
+  for (const std::int64_t tile :
+       {std::int64_t{1}, std::int64_t{4}, std::int64_t{32},
+        std::int64_t{33}}) {
+    const TiledDeltaEngine tiled(s.list, s.factors, nullptr, tile);
+    EXPECT_EQ(ReconstructionError(s.x, tiled), expected_error)
+        << "tile " << tile;
+    EXPECT_EQ(TestRmse(s.x, tiled), expected_rmse) << "tile " << tile;
+    const std::vector<double> pred = PredictEntries(s.x, tiled);
+    ASSERT_EQ(pred.size(), expected_pred.size());
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      EXPECT_EQ(pred[i], expected_pred[i]) << "tile " << tile << " entry "
+                                           << i;
+    }
+  }
+  const AdaptiveDeltaEngine adaptive0(s.list, s.factors, nullptr, 0.0);
+  EXPECT_EQ(ReconstructionError(s.x, adaptive0), expected_error);
+}
+
+TEST(DeltaEngineTest, BatchedPartialErrorsMatchPerEntryBitForBit) {
+  // The truncation scorer tiles entries through ProductsBatch; the scores
+  // (and therefore the removal set) must be EXPECT_EQ across engines and
+  // tile widths, and the per-thread tile scratch must be charged to the
+  // tracker only for the duration of the scan.
+  Ctx s = MakeCtx(4, 5, 41);
+  ModeMajorDeltaEngine mode_major(s.list, s.factors, nullptr);
+  const std::vector<double> expected =
+      ComputePartialErrors(s.x, s.list, s.factors, &mode_major);
+  for (const std::int64_t tile :
+       {std::int64_t{1}, std::int64_t{4}, std::int64_t{32}}) {
+    const TiledDeltaEngine tiled(s.list, s.factors, nullptr, tile);
+    MemoryTracker tracker;
+    const std::vector<double> scores =
+        ComputePartialErrors(s.x, s.list, s.factors, &tiled, &tracker);
+    ASSERT_EQ(scores.size(), expected.size());
+    for (std::size_t b = 0; b < scores.size(); ++b) {
+      EXPECT_EQ(scores[b], expected[b]) << "tile " << tile << " core " << b;
+    }
+    EXPECT_GT(tracker.peak_bytes(), 0) << "tile " << tile;
+    EXPECT_EQ(tracker.current_bytes(), 0) << "tile " << tile;
+  }
+}
+
 // --- Solver-level guarantees across engines. ---
 
 PTuckerResult Solve(const SparseTensor& x, DeltaEngineChoice engine,
@@ -566,6 +666,30 @@ TEST_F(DeltaEngineTrajectories, RegroupedEnginesMatchModeMajorBitForBit) {
   for (std::size_t i = 0; i < adaptive.iterations.size(); ++i) {
     EXPECT_EQ(adaptive.iterations[i].error, mode_major.iterations[i].error)
         << "iter " << i;
+  }
+}
+
+TEST_F(DeltaEngineTrajectories, TiledTruncationTrajectoriesMatchModeMajor) {
+  // Under P-TUCKER-APPROX the truncation scorer runs through
+  // ProductsBatch and the error metric through ReconstructBatch, both
+  // tiled. The scores, the removal sets, and the error trajectory must
+  // stay bit-identical to the mode-major per-entry flow at every width.
+  const PTuckerResult mode_major =
+      Solve(x_, DeltaEngineChoice::kModeMajor, PTuckerVariant::kApprox);
+  for (const std::int64_t tile :
+       {std::int64_t{1}, std::int64_t{4}, std::int64_t{32}}) {
+    const PTuckerResult tiled = Solve(x_, DeltaEngineChoice::kTiled,
+                                      PTuckerVariant::kApprox, false, 0.0,
+                                      tile);
+    ASSERT_EQ(tiled.iterations.size(), mode_major.iterations.size());
+    for (std::size_t i = 0; i < tiled.iterations.size(); ++i) {
+      EXPECT_EQ(tiled.iterations[i].error, mode_major.iterations[i].error)
+          << "tile " << tile << " iter " << i;
+      EXPECT_EQ(tiled.iterations[i].core_nnz,
+                mode_major.iterations[i].core_nnz)
+          << "tile " << tile << " iter " << i;
+    }
+    EXPECT_EQ(tiled.final_error, mode_major.final_error) << "tile " << tile;
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/delta_engine.h"
 #include "data/synthetic.h"
 #include "tensor/nmode.h"
 #include "util/random.h"
@@ -94,6 +95,46 @@ TEST(PredictEntriesTest, MatchesPerEntryReconstruction) {
     EXPECT_NEAR(predictions[static_cast<std::size_t>(e)],
                 ReconstructEntry(s.core, s.factors, s.x.index(e)), 1e-11);
   }
+}
+
+TEST(PredictEntriesTest, EngineOverloadMatchesDenseOverload) {
+  // The engine overload tiles arbitrary query coordinates through
+  // ReconstructBatch; predictions must match the dense-core convenience
+  // overload for a batch-1 engine and stay bit-identical to the
+  // mode-major per-entry scan for the tiled engine at any width.
+  Ctx s = MakeCtx(9);
+  const auto expected = PredictEntries(s.x, s.core, s.factors);
+  const CoreEntryList list(s.core);
+  const NaiveDeltaEngine naive(list, s.factors);
+  const auto via_naive = PredictEntries(s.x, naive);
+  ASSERT_EQ(via_naive.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(via_naive[i], expected[i]);
+  }
+  const ModeMajorDeltaEngine mode_major(list, s.factors, nullptr);
+  const auto via_mode_major = PredictEntries(s.x, mode_major);
+  const TiledDeltaEngine tiled(list, s.factors, nullptr, 16);
+  const auto via_tiled = PredictEntries(s.x, tiled);
+  ASSERT_EQ(via_tiled.size(), via_mode_major.size());
+  for (std::size_t i = 0; i < via_tiled.size(); ++i) {
+    EXPECT_EQ(via_tiled[i], via_mode_major[i]);
+    EXPECT_NEAR(via_tiled[i], expected[i], 1e-11);
+  }
+}
+
+TEST(TestRmseTest, TiledEngineMatchesModeMajorOnHeldOutCoordinates) {
+  // TestRmse reconstructs coordinates outside the tensor the engine was
+  // built over; the tiled ReconstructBatch path must handle them (only
+  // coordinates are consumed) and stay bit-identical to mode-major.
+  Ctx s = MakeCtx(10);
+  Rng rng(11);
+  const SparseTensor held_out = UniformSparseTensor({7, 6, 5}, 40, rng);
+  const CoreEntryList list(s.core);
+  const ModeMajorDeltaEngine mode_major(list, s.factors, nullptr);
+  const TiledDeltaEngine tiled(list, s.factors, nullptr, 32);
+  EXPECT_EQ(TestRmse(held_out, tiled), TestRmse(held_out, mode_major));
+  EXPECT_NEAR(TestRmse(held_out, tiled),
+              TestRmse(held_out, s.core, s.factors), 1e-10);
 }
 
 TEST(ReconstructionErrorTest, ScalingLinearity) {

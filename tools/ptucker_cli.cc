@@ -21,7 +21,10 @@
 //                         are printed by --help — parser and help share
 //                         that one table so they cannot drift
 //   --adaptive-eps X      error budget of --delta-engine adaptive, [0, 1)
-//   --tile-width B        DeltaBatch tile of --delta-engine tiled (>= 1)
+//   --tile-width B        batch tile of --delta-engine tiled (>= 1, clamped
+//                         to 64; sizes its delta/reconstruct/products
+//                         kernels; the SIMD kernels engage at B >= 32,
+//                         shorter tiles run the scalar fallback)
 //   --lambda X            L2 regularization (default 0.01)
 //   --max-iters N         maximum ALS iterations (default 20)
 //   --tolerance X         relative-error convergence (default 1e-4)
