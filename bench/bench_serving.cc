@@ -1,0 +1,157 @@
+// Serving-path benchmark (serve/service.h): single-entry Predict vs
+// batched PredictBatch throughput (QPS) and TopK latency against a
+// MovieLens-scale model, at several engine tile widths. The batched path
+// is what the PR 3/4 batch contract exists for — every query tile
+// streams each core group once through the tiled SIMD kernels and the
+// batch parallelizes across threads. The exit status is the Release CI
+// perf gate (docs/benchmarks.md): 0 only if some tile width B > 1
+// matches or beats BOTH per-entry baselines — the serial single-entry
+// Predict loop AND the parallel tile-1 PredictBatch (same thread count,
+// no tile kernels) — so multi-core parallelism alone cannot mask a
+// regression in the batch kernels themselves.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/ptucker.h"
+#include "serve/service.h"
+#include "tensor/dense_tensor.h"
+#include "util/format.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace ptucker;
+
+// A fitted-model stand-in with serving-realistic shapes: serving cost
+// depends only on dims/ranks/core sparsity, not on the trained values.
+TuckerFactorization MakeModel(const std::vector<std::int64_t>& dims,
+                              const std::vector<std::int64_t>& ranks,
+                              Rng& rng) {
+  TuckerFactorization model;
+  for (std::size_t n = 0; n < dims.size(); ++n) {
+    Matrix factor(dims[n], ranks[n]);
+    factor.FillUniform(rng);
+    model.factors.push_back(std::move(factor));
+  }
+  model.core = DenseTensor(ranks);
+  model.core.FillUniform(rng);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "================================================================\n"
+      "Serving throughput (serve/service.h)\n"
+      "model: 20000 users x 2000 items x 24 hours, ranks 8x8x4;\n"
+      "%lld random queries; QPS = queries / best-of-3 wall clock\n"
+      "================================================================\n",
+      static_cast<long long>(100000));
+
+  const std::vector<std::int64_t> dims = {20000, 2000, 24};
+  const std::vector<std::int64_t> ranks = {8, 8, 4};
+  const std::int64_t num_queries = 100000;
+  Rng rng(17);
+  TuckerFactorization model = MakeModel(dims, ranks, rng);
+
+  // Random query coordinates, shared across every variant.
+  const std::int64_t order = static_cast<std::int64_t>(dims.size());
+  std::vector<std::int64_t> coords(
+      static_cast<std::size_t>(num_queries * order));
+  std::vector<const std::int64_t*> queries(
+      static_cast<std::size_t>(num_queries));
+  for (std::int64_t q = 0; q < num_queries; ++q) {
+    for (std::int64_t n = 0; n < order; ++n) {
+      coords[static_cast<std::size_t>(q * order + n)] =
+          static_cast<std::int64_t>(
+              rng.UniformInt(static_cast<std::uint64_t>(
+                  dims[static_cast<std::size_t>(n)])));
+    }
+    queries[static_cast<std::size_t>(q)] = coords.data() + q * order;
+  }
+  std::vector<double> out(static_cast<std::size_t>(num_queries));
+
+  // Single-entry baseline: one Predict() per query — the per-request
+  // server without batching. Measured once on a tile-1 snapshot.
+  PredictionService single_service(
+      ModelSnapshot::Create(model, /*tile_width=*/1));
+  std::vector<std::int64_t> query(static_cast<std::size_t>(order));
+  double single_seconds = 1e30;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    Stopwatch clock;
+    for (std::int64_t q = 0; q < num_queries; ++q) {
+      query.assign(queries[static_cast<std::size_t>(q)],
+                   queries[static_cast<std::size_t>(q)] + order);
+      out[static_cast<std::size_t>(q)] = single_service.Predict(query);
+    }
+    single_seconds = std::min(single_seconds, clock.ElapsedSeconds());
+  }
+  const double single_qps =
+      static_cast<double>(num_queries) / single_seconds;
+
+  TablePrinter table({"path", "tile", "seconds", "QPS", "vs single"});
+  table.AddRow({"single Predict()", "1", FormatDouble(single_seconds, 4),
+                FormatDouble(single_qps, 0), "1.00x"});
+
+  // Parallel per-entry baseline: PredictBatch at tile 1 has the same
+  // thread-level parallelism as the batched rows but no tile kernels —
+  // the fair yardstick for whether batching itself pays.
+  double tile1_qps = 0.0;
+  bool batched_matched_baselines = false;
+  for (const std::int64_t tile : {std::int64_t{1}, std::int64_t{16},
+                                  std::int64_t{32}, std::int64_t{64}}) {
+    PredictionService service(ModelSnapshot::Create(model, tile));
+    double seconds = 1e30;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      Stopwatch clock;
+      service.PredictBatch(num_queries, queries.data(), out.data());
+      seconds = std::min(seconds, clock.ElapsedSeconds());
+    }
+    const double qps = static_cast<double>(num_queries) / seconds;
+    if (tile == 1) {
+      tile1_qps = qps;
+    } else if (qps >= single_qps && qps >= tile1_qps) {
+      batched_matched_baselines = true;
+    }
+    table.AddRow({tile == 1 ? "PredictBatch (per-entry)" : "PredictBatch",
+                  std::to_string(tile), FormatDouble(seconds, 4),
+                  FormatDouble(qps, 0),
+                  FormatDouble(qps / single_qps, 2) + "x"});
+  }
+  table.Print();
+
+  // Top-K latency: rank every item (mode 1) for one user context — the
+  // recommendation query of the paper's headline scenario.
+  std::printf("\ntop-K recommendation latency (scan mode 1, %lld "
+              "candidates):\n",
+              static_cast<long long>(dims[1]));
+  TablePrinter topk_table({"tile", "k", "latency ms"});
+  for (const std::int64_t tile : {std::int64_t{1}, std::int64_t{32}}) {
+    PredictionService service(ModelSnapshot::Create(model, tile));
+    for (const std::int64_t k : {std::int64_t{10}, std::int64_t{100}}) {
+      const std::vector<std::int64_t> at = {42, 0, 21};
+      double seconds = 1e30;
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        Stopwatch clock;
+        const auto top = service.TopK(1, at, k);
+        seconds = std::min(seconds, clock.ElapsedSeconds());
+        if (static_cast<std::int64_t>(top.size()) != k) {
+          std::fprintf(stderr, "topk returned %zu results, want %lld\n",
+                       top.size(), static_cast<long long>(k));
+          return 1;
+        }
+      }
+      topk_table.AddRow({std::to_string(tile), std::to_string(k),
+                         FormatDouble(seconds * 1e3, 3)});
+    }
+  }
+  topk_table.Print();
+
+  std::printf("\nsome batched tile >= both per-entry baselines "
+              "(the CI gate): %s\n",
+              batched_matched_baselines ? "YES" : "NO");
+  return batched_matched_baselines ? 0 : 1;
+}

@@ -1,0 +1,201 @@
+// Vendored header-only fallback for the subset of google-benchmark that
+// bench_microkernels uses, so the microkernel perf gate runs on machines
+// without the system library (the build prefers the real library when
+// CMake finds it; see CMakeLists.txt). Implements: BENCHMARK(fn) with
+// ->Arg(v) chaining, benchmark::State with the `for (auto _ : state)`
+// protocol, state.range(0) / iterations() / SetItemsProcessed, and
+// benchmark::DoNotOptimize. Timing is adaptive: each benchmark is rerun
+// with a growing iteration count until it spans a minimum wall-clock
+// window, then reported as ns/iteration (and items/s when set), which is
+// the same reporting shape the real library prints.
+#ifndef PTUCKER_BENCH_MINIBENCH_H_
+#define PTUCKER_BENCH_MINIBENCH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  State(std::int64_t iterations, std::int64_t arg)
+      : iterations_(iterations), arg_(arg) {}
+
+  // The range-for protocol of the real library: `for (auto _ : state)`
+  // runs the body `iterations()` times; the timer starts at begin() and
+  // stops when the loop's terminating comparison fires, so per-call
+  // setup before the loop is excluded from the measurement.
+  class StateIterator {
+   public:
+    StateIterator(State* state, std::int64_t remaining)
+        : state_(state), remaining_(remaining) {}
+    bool operator!=(const StateIterator& /*end*/) const {
+      if (remaining_ > 0) return true;
+      state_->FinishTimer();
+      return false;
+    }
+    StateIterator& operator++() {
+      --remaining_;
+      return *this;
+    }
+    // Non-trivial destructor so `for (auto _ : state)` never trips
+    // -Wunused-variable (the real library's Value type does the same).
+    struct Value {
+      ~Value() {}
+    };
+    Value operator*() const { return Value(); }
+
+   private:
+    State* state_;
+    std::int64_t remaining_;
+  };
+
+  StateIterator begin() {
+    start_ = std::chrono::steady_clock::now();
+    return StateIterator(this, iterations_);
+  }
+  StateIterator end() { return StateIterator(this, 0); }
+
+  std::int64_t range(std::size_t /*pos*/ = 0) const { return arg_; }
+  std::int64_t iterations() const { return iterations_; }
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+
+  std::int64_t items_processed() const { return items_processed_; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+ private:
+  void FinishTimer() {
+    elapsed_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+  }
+
+  std::int64_t iterations_;
+  std::int64_t arg_;
+  std::int64_t items_processed_ = 0;
+  double elapsed_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(value) : "memory");
+#else
+  volatile auto sink = value;
+  (void)sink;
+#endif
+}
+
+namespace internal {
+
+using BenchmarkFn = void (*)(State&);
+
+// One registered BENCHMARK(fn), possibly with several ->Arg(v) variants.
+class Benchmark {
+ public:
+  Benchmark(const char* name, BenchmarkFn fn) : name_(name), fn_(fn) {}
+
+  Benchmark* Arg(std::int64_t value) {
+    args_.push_back(value);
+    return this;
+  }
+
+  const std::string& name() const { return name_; }
+  BenchmarkFn fn() const { return fn_; }
+  bool has_args() const { return !args_.empty(); }
+  // No ->Arg() means one run whose range(0) is unused; 0 stands in.
+  std::vector<std::int64_t> args() const {
+    return args_.empty() ? std::vector<std::int64_t>{0} : args_;
+  }
+
+ private:
+  std::string name_;
+  BenchmarkFn fn_;
+  std::vector<std::int64_t> args_;
+};
+
+inline std::vector<Benchmark*>& Registry() {
+  static std::vector<Benchmark*> registry;
+  return registry;
+}
+
+inline Benchmark* RegisterBenchmark(const char* name, BenchmarkFn fn) {
+  // Owned by the registry for the process lifetime, like the real
+  // library's registration objects.
+  Benchmark* bench = new Benchmark(name, fn);
+  Registry().push_back(bench);
+  return bench;
+}
+
+inline void RunOne(const Benchmark& bench, std::int64_t arg) {
+  // Grow the iteration count until the timed window is long enough to
+  // trust, like the real library's adaptive runner.
+  constexpr double kMinSeconds = 0.05;
+  constexpr std::int64_t kMaxIterations = 1LL << 30;
+  std::int64_t iterations = 1;
+  State state(iterations, arg);
+  for (;;) {
+    state = State(iterations, arg);
+    bench.fn()(state);
+    if (state.elapsed_seconds() >= kMinSeconds ||
+        iterations >= kMaxIterations) {
+      break;
+    }
+    const double scale =
+        state.elapsed_seconds() > 0.0
+            ? 1.4 * kMinSeconds / state.elapsed_seconds()
+            : 16.0;
+    const double grown = static_cast<double>(iterations) *
+                         (scale < 2.0 ? 2.0 : scale);
+    iterations = grown > static_cast<double>(kMaxIterations)
+                     ? kMaxIterations
+                     : static_cast<std::int64_t>(grown);
+  }
+  std::string label = bench.name();
+  if (bench.has_args()) label += "/" + std::to_string(arg);
+  const double ns_per_iter =
+      1e9 * state.elapsed_seconds() /
+      static_cast<double>(state.iterations());
+  std::printf("%-28s %12.1f ns %12lld iters", label.c_str(), ns_per_iter,
+              static_cast<long long>(state.iterations()));
+  if (state.items_processed() > 0 && state.elapsed_seconds() > 0.0) {
+    std::printf(" %12.3g items/s",
+                static_cast<double>(state.items_processed()) /
+                    state.elapsed_seconds());
+  }
+  std::printf("\n");
+}
+
+inline int RunAll() {
+  std::printf("minibench (vendored google-benchmark fallback; install "
+              "google-benchmark for the full harness)\n");
+  std::printf("%-28s %15s %18s\n", "benchmark", "time/iter", "iterations");
+  for (const Benchmark* bench : Registry()) {
+    for (const std::int64_t arg : bench->args()) {
+      RunOne(*bench, arg);
+    }
+  }
+  return 0;
+}
+
+}  // namespace internal
+}  // namespace benchmark
+
+#define PTUCKER_MINIBENCH_CONCAT2(a, b) a##b
+#define PTUCKER_MINIBENCH_CONCAT(a, b) PTUCKER_MINIBENCH_CONCAT2(a, b)
+
+// Registers `fn` at static-init time; ->Arg(v) chains append variants.
+#define BENCHMARK(fn)                                              \
+  static ::benchmark::internal::Benchmark*                         \
+      PTUCKER_MINIBENCH_CONCAT(minibench_registered_, __LINE__) =  \
+          ::benchmark::internal::RegisterBenchmark(#fn, fn)
+
+// Stands in for linking benchmark::benchmark_main.
+int main() { return ::benchmark::internal::RunAll(); }
+
+#endif  // PTUCKER_BENCH_MINIBENCH_H_

@@ -12,6 +12,8 @@
 
 namespace ptucker {
 
+struct TuckerFactorization;  // core/ptucker.h (which includes this header)
+
 /// Which P-Tucker algorithm to run (paper §III-C).
 enum class PTuckerVariant {
   /// Default memory-optimized algorithm: O(T J²) intermediate data.
@@ -120,6 +122,22 @@ struct PTuckerOptions {
 
   /// Seed for the Uniform[0,1) initialization of factors and core.
   std::uint64_t seed = 0x5eedULL;
+
+  /// Warm start: when non-null, factors and core are initialized from
+  /// this fitted model (e.g. a checkpoint loaded with LoadSnapshot,
+  /// serve/snapshot.h) instead of the Uniform[0,1) draw, so a solve can
+  /// resume where a previous one stopped. The model must match the
+  /// input: factor n must be I_n × core_dims[n] and the core must have
+  /// shape core_dims (std::invalid_argument otherwise). The pointee is
+  /// only read during initialization and is never modified; it must stay
+  /// alive for the PTuckerDecompose call. Resuming a run that was
+  /// checkpointed with orthogonalize_output off continues its trajectory
+  /// exactly (row-wise ALS is deterministic in the state) — except under
+  /// sample_rate < 1, whose per-row subsample streams are keyed by the
+  /// iteration counter, which restarts on resume, so a subsampled resume
+  /// is a fresh (still deterministic) draw rather than an exact
+  /// continuation.
+  const TuckerFactorization* init_snapshot = nullptr;
 
   /// Orthogonalize factors and fold R into the core when done
   /// (Algorithm 2 lines 8-11). On by default as in the paper.

@@ -101,6 +101,28 @@ void ValidateInputs(const SparseTensor& x, const PTuckerOptions& options) {
   if (options.tile_width < 1) {
     throw std::invalid_argument("P-Tucker: tile_width must be >= 1");
   }
+  if (options.init_snapshot != nullptr) {
+    const TuckerFactorization& init = *options.init_snapshot;
+    if (static_cast<std::int64_t>(init.factors.size()) != x.order() ||
+        init.core.order() != x.order()) {
+      throw std::invalid_argument(
+          "P-Tucker: init_snapshot order does not match the tensor");
+    }
+    for (std::int64_t n = 0; n < x.order(); ++n) {
+      const Matrix& factor = init.factors[static_cast<std::size_t>(n)];
+      const std::int64_t rank = options.core_dims[static_cast<std::size_t>(n)];
+      if (factor.rows() != x.dim(n) || factor.cols() != rank ||
+          init.core.dim(n) != rank) {
+        throw std::invalid_argument(
+            "P-Tucker: init_snapshot shape mismatch in mode " +
+            std::to_string(n) + " (want factor " + std::to_string(x.dim(n)) +
+            "x" + std::to_string(rank) + ", got " +
+            std::to_string(factor.rows()) + "x" +
+            std::to_string(factor.cols()) + ", core dim " +
+            std::to_string(init.core.dim(n)) + ")");
+      }
+    }
+  }
 }
 
 // Mixes the run seed with a (iteration, mode, row) key so every row draws
@@ -162,20 +184,31 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
                                               : omp_get_max_threads();
   OmpEnvironmentGuard omp_guard(threads, options.scheduling);
 
-  // --- Initialization (Algorithm 2 line 1): Uniform[0, 1). ---
+  // --- Initialization (Algorithm 2 line 1): Uniform[0, 1), or the
+  // factors/core of options.init_snapshot when warm-starting from a
+  // checkpoint (shapes validated above). ---
   Rng rng(options.seed);
   std::vector<Matrix> factors;
   factors.reserve(static_cast<std::size_t>(order));
   std::int64_t max_rank = 1;
   for (std::int64_t n = 0; n < order; ++n) {
     const std::int64_t rank = options.core_dims[static_cast<std::size_t>(n)];
-    Matrix factor(x.dim(n), rank);
-    factor.FillUniform(rng);
-    factors.push_back(std::move(factor));
+    if (options.init_snapshot != nullptr) {
+      factors.push_back(
+          options.init_snapshot->factors[static_cast<std::size_t>(n)]);
+    } else {
+      Matrix factor(x.dim(n), rank);
+      factor.FillUniform(rng);
+      factors.push_back(std::move(factor));
+    }
     max_rank = std::max(max_rank, rank);
   }
   DenseTensor core(options.core_dims);
-  core.FillUniform(rng);
+  if (options.init_snapshot != nullptr) {
+    core = options.init_snapshot->core;
+  } else {
+    core.FillUniform(rng);
+  }
   CoreEntryList core_list(core);
 
   // The δ-computation engine (derived state charged inside): mode-major

@@ -107,11 +107,10 @@ double TestRmse(const SparseTensor& test, const DenseTensor& core,
   return TestRmse(test, CoreEntryList(core), factors);
 }
 
-std::vector<double> PredictEntries(const SparseTensor& query,
-                                   const DeltaEngine& engine) {
+void PredictEntries(std::int64_t count, const std::int64_t* const* indices,
+                    const DeltaEngine& engine, double* out) {
   const std::int64_t batch =
       std::max<std::int64_t>(1, engine.PreferredBatch());
-  std::vector<double> predictions(static_cast<std::size_t>(query.nnz()));
 #pragma omp parallel
   {
     // With static scheduling each thread's entries are consecutive, so a
@@ -122,23 +121,32 @@ std::vector<double> PredictEntries(const SparseTensor& query,
     std::int64_t pending = 0;
     const auto flush = [&] {
       if (pending == 0) return;
-      engine.ReconstructBatch(pending, tile.data(),
-                              predictions.data() + tile_start);
+      engine.ReconstructBatch(pending, tile.data(), out + tile_start);
       pending = 0;
     };
 #pragma omp for schedule(static)
-    for (std::int64_t e = 0; e < query.nnz(); ++e) {
+    for (std::int64_t e = 0; e < count; ++e) {
       if (batch == 1) {
-        predictions[static_cast<std::size_t>(e)] =
-            engine.Reconstruct(query.index(e));
+        out[e] = engine.Reconstruct(indices[e]);
         continue;
       }
       if (pending == 0) tile_start = e;
-      tile[static_cast<std::size_t>(pending)] = query.index(e);
+      tile[static_cast<std::size_t>(pending)] = indices[e];
       if (++pending == batch) flush();
     }
     flush();
   }
+}
+
+std::vector<double> PredictEntries(const SparseTensor& query,
+                                   const DeltaEngine& engine) {
+  std::vector<const std::int64_t*> indices(
+      static_cast<std::size_t>(query.nnz()));
+  for (std::int64_t e = 0; e < query.nnz(); ++e) {
+    indices[static_cast<std::size_t>(e)] = query.index(e);
+  }
+  std::vector<double> predictions(indices.size());
+  PredictEntries(query.nnz(), indices.data(), engine, predictions.data());
   return predictions;
 }
 

@@ -52,6 +52,14 @@ double TestRmse(const SparseTensor& test, const DenseTensor& core,
 std::vector<double> PredictEntries(const SparseTensor& query,
                                    const DeltaEngine& engine);
 
+/// Pointer-array form of PredictEntries: out[i] = x̂(indices[i]) for
+/// `count` coordinate arrays, parallelized over entries and tiled in
+/// PreferredBatch()-sized tiles (bit-identical to a per-entry loop).
+/// The other overloads and the serving layer's PredictBatch all reduce
+/// to this one kernel.
+void PredictEntries(std::int64_t count, const std::int64_t* const* indices,
+                    const DeltaEngine& engine, double* out);
+
 /// Convenience overload predicting through the entry-major oracle built
 /// from a dense core.
 std::vector<double> PredictEntries(const SparseTensor& query,

@@ -1,0 +1,136 @@
+/// \file
+/// \brief The serving layer: an immutable ModelSnapshot (fitted model +
+/// its batch-capable DeltaEngine) behind an atomically swappable
+/// shared_ptr, and a PredictionService exposing single/batched x̂
+/// queries and deterministic parallel top-K recommendation. Queries in
+/// flight keep the snapshot they started with alive, so ReloadSnapshot
+/// is safe (and wait-free for readers) while predictions run. See
+/// docs/serving.md.
+#ifndef PTUCKER_SERVE_SERVICE_H_
+#define PTUCKER_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/delta_engine.h"
+#include "core/ptucker.h"
+
+namespace ptucker {
+
+/// An immutable, query-ready view of a fitted model: the
+/// TuckerFactorization plus the CoreEntryList and TiledDeltaEngine built
+/// over it once at load time, so every query amortizes the engine's
+/// mode-major views instead of rebuilding them. Always heap-allocated
+/// behind shared_ptr (Create) — the engine holds non-owning references
+/// into the snapshot, so the snapshot must never move after
+/// construction, and shared ownership is what lets in-flight queries
+/// outlive a hot reload.
+class ModelSnapshot {
+ public:
+  /// Builds a query-ready snapshot over `model`. `tile_width` sizes the
+  /// engine's batch kernels (see PTuckerOptions::tile_width); the
+  /// engine's derived state is charged to `tracker` when given. Throws
+  /// std::invalid_argument when the factor shapes do not match the core.
+  static std::shared_ptr<const ModelSnapshot> Create(
+      TuckerFactorization model, std::int64_t tile_width = kDefaultTileWidth,
+      MemoryTracker* tracker = nullptr);
+
+  /// The fitted model the snapshot serves.
+  const TuckerFactorization& model() const { return model_; }
+  /// The batch-capable engine bound to the model (lifetime = snapshot).
+  const DeltaEngine& engine() const { return *engine_; }
+
+  /// Tensor order N.
+  std::int64_t order() const {
+    return static_cast<std::int64_t>(model_.factors.size());
+  }
+  /// Mode-`mode` dimensionality I_n (rows of factor `mode`).
+  std::int64_t dim(std::int64_t mode) const {
+    return model_.factors[static_cast<std::size_t>(mode)].rows();
+  }
+  /// Nonzero core entries |G| the snapshot serves with.
+  std::int64_t core_nnz() const { return core_list_.size(); }
+
+  ModelSnapshot(const ModelSnapshot&) = delete;             ///< pinned
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;  ///< pinned
+
+ private:
+  explicit ModelSnapshot(TuckerFactorization model);
+
+  TuckerFactorization model_;
+  CoreEntryList core_list_;
+  std::unique_ptr<DeltaEngine> engine_;
+};
+
+/// One top-K result: a candidate coordinate of the scanned mode and its
+/// predicted value x̂.
+struct ScoredIndex {
+  std::int64_t index = 0;  ///< coordinate along the scanned mode
+  double score = 0.0;      ///< predicted value (Eq. 4)
+};
+
+/// Serves x̂ queries against a ModelSnapshot with lock-free hot reload:
+/// every query atomically grabs the current snapshot once and uses it for
+/// the whole call, so a concurrent ReloadSnapshot never mixes two models
+/// inside one batch and never blocks readers. All methods validate
+/// coordinates against the snapshot's dims and throw
+/// std::invalid_argument on a mismatch.
+///
+/// Determinism: PredictBatch tiles entries through the engine's
+/// ReconstructBatch exactly like PredictEntries (core/reconstruction.h),
+/// so batched results are bit-identical to the per-entry path at every
+/// tile width; TopK merges per-thread candidate heaps in thread order
+/// and totally orders candidates by (score desc, index asc), so its
+/// result is independent of thread count and tile width.
+class PredictionService {
+ public:
+  /// Serves `snapshot` (must be non-null).
+  explicit PredictionService(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Atomically swaps the served snapshot (must be non-null). Queries in
+  /// flight finish on the snapshot they started with.
+  void ReloadSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The snapshot queries would use right now.
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Single-entry prediction x̂ at `index` (Eq. 4).
+  double Predict(const std::vector<std::int64_t>& index) const;
+
+  /// Batched prediction: out[i] = x̂(indices[i]) for `count` coordinate
+  /// arrays of order() entries each. Parallelized over entries and tiled
+  /// through the engine's ReconstructBatch; bit-identical to `count`
+  /// Predict calls.
+  void PredictBatch(std::int64_t count, const std::int64_t* const* indices,
+                    double* out) const;
+
+  /// Convenience overload: predictions for every entry coordinate of
+  /// `queries` (values ignored), in entry order.
+  std::vector<double> PredictBatch(const SparseTensor& queries) const;
+
+  /// Top-`k` completions along `mode`: scans every candidate coordinate
+  /// i ∈ [0, dim(mode)) with `index`'s mode-`mode` slot replaced by i
+  /// (the slot's incoming value is ignored), scores each through the
+  /// tile kernels, and returns the k best ordered by (score desc, index
+  /// asc). `exclude`, when given, must hold dim(mode) flags; flagged
+  /// candidates are skipped (e.g. movies the user already rated). Fewer
+  /// than k candidates returns them all.
+  std::vector<ScoredIndex> TopK(std::int64_t mode,
+                                const std::vector<std::int64_t>& index,
+                                std::int64_t k,
+                                const std::vector<char>* exclude =
+                                    nullptr) const;
+
+ private:
+  // The batch kernel both public PredictBatch overloads share; `snap` is
+  // the one snapshot the caller atomically grabbed for the whole call.
+  static void PredictBatchOn(const ModelSnapshot& snap, std::int64_t count,
+                             const std::int64_t* const* indices, double* out);
+
+  std::shared_ptr<const ModelSnapshot> snapshot_;  // via atomic_load/store
+};
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_SERVE_SERVICE_H_

@@ -1,0 +1,284 @@
+#include "serve/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/dense_tensor.h"
+
+namespace ptucker {
+
+namespace {
+
+// File layout (all integers little-endian on the platforms we target;
+// the same raw-memory convention as the PTNB tensor format in
+// tensor/io.cc):
+//
+//   [0,4)   magic "PTKS"
+//   [4,8)   u32 format version (kSnapshotVersion)
+//   [8,12)  u32 CRC-32 (IEEE) of the body
+//   [12,20) u64 body byte count
+//   [20,..) body:
+//     i64 order N
+//     i64 dims[N]        factor row counts I_n
+//     i64 ranks[N]       core dimensionalities J_n
+//     i64 core_nnz
+//     f64 factors        row-major, mode 0 first (Σ I_n·J_n doubles)
+//     i32 core_indices   core_nnz × N, entry-major
+//     f64 core_values    core_nnz
+constexpr char kMagic[4] = {'P', 'T', 'K', 'S'};
+constexpr std::size_t kHeaderBytes = 20;
+constexpr std::int64_t kMaxSnapshotOrder = 64;
+// Ceiling on dense core elements a snapshot may declare (16 GiB of
+// doubles) — far beyond any servable core, but it stops a crafted
+// header from requesting an absurd zero-filled allocation.
+constexpr std::int64_t kMaxCoreElements = std::int64_t{1} << 31;
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over the snapshot body — the
+// corruption check that turns a flipped bit into a clean load error
+// instead of a silently wrong model.
+std::uint32_t Crc32(const char* data, std::size_t size) {
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+[[noreturn]] void ThrowFormat(const std::string& detail) {
+  throw std::runtime_error("snapshot parse error: " + detail);
+}
+
+void AppendRaw(std::string* out, const void* data, std::size_t bytes) {
+  out->append(reinterpret_cast<const char*>(data), bytes);
+}
+
+void AppendI64(std::string* out, std::int64_t value) {
+  AppendRaw(out, &value, sizeof(value));
+}
+
+// Bounds-checked sequential reader over the body bytes.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  void Read(void* out, std::size_t bytes) {
+    if (bytes > size_ - pos_) ThrowFormat("body truncated");
+    std::memcpy(out, data_ + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  std::int64_t ReadI64() {
+    std::int64_t value = 0;
+    Read(&value, sizeof(value));
+    return value;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeSnapshot(const TuckerFactorization& model) {
+  const std::int64_t order = model.core.order();
+  if (order < 1 || order > kMaxSnapshotOrder) {
+    throw std::runtime_error("snapshot: model order must be in [1, 64]");
+  }
+  if (static_cast<std::int64_t>(model.factors.size()) != order) {
+    throw std::runtime_error(
+        "snapshot: factor count does not match core order");
+  }
+  for (std::int64_t n = 0; n < order; ++n) {
+    const Matrix& factor = model.factors[static_cast<std::size_t>(n)];
+    if (factor.rows() < 1 || factor.cols() != model.core.dim(n)) {
+      throw std::runtime_error(
+          "snapshot: factor " + std::to_string(n) +
+          " shape does not match the core (" + std::to_string(factor.rows()) +
+          "x" + std::to_string(factor.cols()) + " vs rank " +
+          std::to_string(model.core.dim(n)) + ")");
+    }
+  }
+
+  std::string body;
+  AppendI64(&body, order);
+  for (std::int64_t n = 0; n < order; ++n) {
+    AppendI64(&body, model.factors[static_cast<std::size_t>(n)].rows());
+  }
+  for (std::int64_t n = 0; n < order; ++n) {
+    AppendI64(&body, model.core.dim(n));
+  }
+  AppendI64(&body, model.core.CountNonZeros());
+  for (const Matrix& factor : model.factors) {
+    AppendRaw(&body, factor.data(),
+              static_cast<std::size_t>(factor.size()) * sizeof(double));
+  }
+  // VeST-compact core: COO nonzeros only, in linear (mode-0-fastest)
+  // order so serialization is deterministic.
+  std::vector<std::int64_t> index(static_cast<std::size_t>(order));
+  std::vector<double> values;
+  for (std::int64_t linear = 0; linear < model.core.size(); ++linear) {
+    if (model.core[linear] == 0.0) continue;
+    model.core.IndexOf(linear, index.data());
+    for (std::int64_t k = 0; k < order; ++k) {
+      const std::int32_t coord =
+          static_cast<std::int32_t>(index[static_cast<std::size_t>(k)]);
+      AppendRaw(&body, &coord, sizeof(coord));
+    }
+    values.push_back(model.core[linear]);
+  }
+  AppendRaw(&body, values.data(), values.size() * sizeof(double));
+
+  std::string out;
+  out.reserve(kHeaderBytes + body.size());
+  out.append(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kSnapshotVersion;
+  AppendRaw(&out, &version, sizeof(version));
+  const std::uint32_t crc = Crc32(body.data(), body.size());
+  AppendRaw(&out, &crc, sizeof(crc));
+  const std::uint64_t body_bytes = body.size();
+  AppendRaw(&out, &body_bytes, sizeof(body_bytes));
+  out += body;
+  return out;
+}
+
+TuckerFactorization ParseSnapshot(const std::string& bytes) {
+  if (bytes.size() < kHeaderBytes) ThrowFormat("file shorter than the header");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    ThrowFormat("bad magic (not a PTKS snapshot)");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  if (version != kSnapshotVersion) {
+    ThrowFormat("unsupported snapshot version " + std::to_string(version) +
+                " (this library reads version " +
+                std::to_string(kSnapshotVersion) + ")");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + 8, sizeof(stored_crc));
+  std::uint64_t body_bytes = 0;
+  std::memcpy(&body_bytes, bytes.data() + 12, sizeof(body_bytes));
+  if (body_bytes != bytes.size() - kHeaderBytes) {
+    ThrowFormat(body_bytes > bytes.size() - kHeaderBytes
+                    ? "body truncated"
+                    : "trailing bytes after the body");
+  }
+  const char* body = bytes.data() + kHeaderBytes;
+  const std::uint32_t computed_crc =
+      Crc32(body, static_cast<std::size_t>(body_bytes));
+  if (computed_crc != stored_crc) {
+    ThrowFormat("CRC mismatch (file is corrupt)");
+  }
+
+  Reader reader(body, static_cast<std::size_t>(body_bytes));
+  const std::int64_t order = reader.ReadI64();
+  if (order < 1 || order > kMaxSnapshotOrder) {
+    ThrowFormat("order " + std::to_string(order) + " out of range");
+  }
+  std::vector<std::int64_t> dims(static_cast<std::size_t>(order));
+  for (auto& d : dims) {
+    d = reader.ReadI64();
+    if (d < 1) ThrowFormat("non-positive mode dimensionality");
+  }
+  std::vector<std::int64_t> ranks(static_cast<std::size_t>(order));
+  std::int64_t core_size = 1;
+  for (auto& r : ranks) {
+    r = reader.ReadI64();
+    if (r < 1) ThrowFormat("non-positive core rank");
+    if (core_size > kMaxCoreElements / r) ThrowFormat("core too large");
+    core_size *= r;
+  }
+  const std::int64_t core_nnz = reader.ReadI64();
+  if (core_nnz < 0 || core_nnz > core_size) {
+    ThrowFormat("core nnz " + std::to_string(core_nnz) + " out of range");
+  }
+  // Every remaining allocation is sized by untrusted header fields; cap
+  // each one by the bytes actually left in the body *before* allocating,
+  // so a tiny crafted file (the CRC is computable by anyone) fails with
+  // "body truncated" instead of zero-filling terabytes or overflowing
+  // rows*cols. ranks are bounded by kMaxCoreElements above, so
+  // cols*sizeof(double) cannot overflow; dims are only bounded here.
+  if (static_cast<std::uint64_t>(core_nnz) >
+      reader.remaining() / (static_cast<std::uint64_t>(order) *
+                                sizeof(std::int32_t) +
+                            sizeof(double))) {
+    ThrowFormat("body truncated");
+  }
+
+  TuckerFactorization model;
+  model.factors.reserve(static_cast<std::size_t>(order));
+  for (std::int64_t n = 0; n < order; ++n) {
+    const std::int64_t rows = dims[static_cast<std::size_t>(n)];
+    const std::int64_t cols = ranks[static_cast<std::size_t>(n)];
+    if (static_cast<std::uint64_t>(rows) >
+        reader.remaining() /
+            (static_cast<std::uint64_t>(cols) * sizeof(double))) {
+      ThrowFormat("body truncated");
+    }
+    Matrix factor(rows, cols);
+    reader.Read(factor.data(),
+                static_cast<std::size_t>(factor.size()) * sizeof(double));
+    model.factors.push_back(std::move(factor));
+  }
+  model.core = DenseTensor(ranks);
+  std::vector<std::int64_t> index(static_cast<std::size_t>(order));
+  std::vector<std::int64_t> linear_positions(
+      static_cast<std::size_t>(core_nnz));
+  for (std::int64_t e = 0; e < core_nnz; ++e) {
+    for (std::int64_t k = 0; k < order; ++k) {
+      std::int32_t coord = 0;
+      reader.Read(&coord, sizeof(coord));
+      if (coord < 0 || coord >= ranks[static_cast<std::size_t>(k)]) {
+        ThrowFormat("core index out of bounds in entry " + std::to_string(e));
+      }
+      index[static_cast<std::size_t>(k)] = coord;
+    }
+    linear_positions[static_cast<std::size_t>(e)] =
+        Linearize(index.data(), model.core.strides(), order);
+  }
+  for (std::int64_t e = 0; e < core_nnz; ++e) {
+    double value = 0.0;
+    reader.Read(&value, sizeof(value));
+    model.core[linear_positions[static_cast<std::size_t>(e)]] = value;
+  }
+  if (reader.remaining() != 0) ThrowFormat("trailing bytes inside the body");
+  return model;
+}
+
+void SaveSnapshot(const std::string& path, const TuckerFactorization& model) {
+  const std::string bytes = SerializeSnapshot(model);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("snapshot: cannot open file for write: " + path);
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("snapshot: write failed: " + path);
+}
+
+TuckerFactorization LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("snapshot: cannot open file: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("snapshot: read failed: " + path);
+  return ParseSnapshot(bytes);
+}
+
+}  // namespace ptucker

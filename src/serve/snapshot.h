@@ -1,0 +1,47 @@
+/// \file
+/// \brief Persistent model checkpoints: a versioned, CRC-checked binary
+/// snapshot of a fitted TuckerFactorization (dims, ranks, factor
+/// matrices, and the sparse core as COO nonzeros — VeST-compact, so a
+/// truncated P-TUCKER-APPROX core costs only its surviving entries on
+/// disk). Snapshots round-trip bit-identically and feed both the
+/// warm-start path (PTuckerOptions::init_snapshot) and the serving layer
+/// (serve/service.h). Format spec: docs/serving.md.
+#ifndef PTUCKER_SERVE_SNAPSHOT_H_
+#define PTUCKER_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/ptucker.h"
+
+namespace ptucker {
+
+/// Snapshot format version this library writes and accepts. Bumped on
+/// any layout change; LoadSnapshot rejects other versions explicitly
+/// instead of misparsing them.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serializes `model` into the versioned binary snapshot format
+/// ("PTKS" magic, version, CRC-32 over the body, body = dims + ranks +
+/// row-major factors + COO core nonzeros). The core is stored
+/// VeST-compact: only nonzero entries are written.
+std::string SerializeSnapshot(const TuckerFactorization& model);
+
+/// Parses a snapshot produced by SerializeSnapshot. Throws
+/// std::runtime_error on a bad magic, an unsupported version, a CRC
+/// mismatch (bit corruption), truncation, trailing bytes, or
+/// out-of-bounds dims/indices. The returned model is bit-identical to
+/// the one serialized.
+TuckerFactorization ParseSnapshot(const std::string& bytes);
+
+/// Writes `model` to `path` in the snapshot format. Throws
+/// std::runtime_error when the file cannot be written.
+void SaveSnapshot(const std::string& path, const TuckerFactorization& model);
+
+/// Reads a snapshot from `path` (see ParseSnapshot for the failure
+/// modes; unopenable files also throw std::runtime_error).
+TuckerFactorization LoadSnapshot(const std::string& path);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_SERVE_SNAPSHOT_H_

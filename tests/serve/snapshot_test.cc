@@ -1,0 +1,241 @@
+// Snapshot format tests: bit-identical round trips, rejection of
+// corrupt/truncated/mismatched files, and warm-start trajectory
+// continuation through PTuckerOptions::init_snapshot.
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/ptucker.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace ptucker {
+namespace {
+
+SparseTensor MakeTensor(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return UniformSparseTensor({20, 15, 12}, 900, rng);
+}
+
+TuckerFactorization TrainModel(const SparseTensor& x, int iterations,
+                               bool orthogonalize = true) {
+  PTuckerOptions options;
+  options.core_dims = {3, 4, 2};
+  options.max_iterations = iterations;
+  options.tolerance = 0.0;
+  options.orthogonalize_output = orthogonalize;
+  return PTuckerDecompose(x, options).model;
+}
+
+void ExpectBitIdentical(const TuckerFactorization& a,
+                        const TuckerFactorization& b) {
+  ASSERT_EQ(a.factors.size(), b.factors.size());
+  for (std::size_t n = 0; n < a.factors.size(); ++n) {
+    ASSERT_TRUE(a.factors[n].SameShape(b.factors[n]));
+    EXPECT_EQ(a.factors[n].MaxAbsDiff(b.factors[n]), 0.0) << "factor " << n;
+  }
+  ASSERT_EQ(a.core.dims(), b.core.dims());
+  EXPECT_EQ(MaxAbsDiff(a.core, b.core), 0.0);
+}
+
+TEST(SnapshotTest, RoundTripIsBitIdentical) {
+  const SparseTensor x = MakeTensor();
+  const TuckerFactorization model = TrainModel(x, 3);
+  const TuckerFactorization reloaded =
+      ParseSnapshot(SerializeSnapshot(model));
+  ExpectBitIdentical(model, reloaded);
+}
+
+TEST(SnapshotTest, FileRoundTripIsBitIdentical) {
+  const SparseTensor x = MakeTensor();
+  const TuckerFactorization model = TrainModel(x, 3);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "snapshot_test_rt.ptks")
+          .string();
+  SaveSnapshot(path, model);
+  const TuckerFactorization reloaded = LoadSnapshot(path);
+  std::filesystem::remove(path);
+  ExpectBitIdentical(model, reloaded);
+}
+
+TEST(SnapshotTest, StoresOnlyCoreNonzeros) {
+  const SparseTensor x = MakeTensor();
+  TuckerFactorization model = TrainModel(x, 2, /*orthogonalize=*/false);
+  // Sparsify the core the way P-TUCKER-APPROX truncation does; the
+  // snapshot must round-trip the zeros and shrink with them.
+  const std::string dense_bytes = SerializeSnapshot(model);
+  for (std::int64_t i = 0; i < model.core.size(); i += 2) model.core[i] = 0.0;
+  const std::string sparse_bytes = SerializeSnapshot(model);
+  EXPECT_LT(sparse_bytes.size(), dense_bytes.size());
+  ExpectBitIdentical(model, ParseSnapshot(sparse_bytes));
+}
+
+TEST(SnapshotTest, RejectsBadMagic) {
+  const TuckerFactorization model = TrainModel(MakeTensor(), 1);
+  std::string bytes = SerializeSnapshot(model);
+  bytes[0] = 'X';
+  EXPECT_THROW(ParseSnapshot(bytes), std::runtime_error);
+}
+
+TEST(SnapshotTest, RejectsVersionMismatch) {
+  const TuckerFactorization model = TrainModel(MakeTensor(), 1);
+  std::string bytes = SerializeSnapshot(model);
+  bytes[4] = static_cast<char>(kSnapshotVersion + 1);  // version field
+  try {
+    ParseSnapshot(bytes);
+    FAIL() << "version mismatch not rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapshotTest, RejectsCorruptBody) {
+  const TuckerFactorization model = TrainModel(MakeTensor(), 1);
+  const std::string pristine = SerializeSnapshot(model);
+  // A flipped bit anywhere in the body must trip the CRC, never load a
+  // silently wrong model.
+  for (const std::size_t offset :
+       {std::size_t{20}, std::size_t{40}, pristine.size() - 1}) {
+    std::string bytes = pristine;
+    bytes[offset] = static_cast<char>(bytes[offset] ^ 0x20);
+    try {
+      ParseSnapshot(bytes);
+      FAIL() << "corruption at offset " << offset << " not rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(SnapshotTest, RejectsTruncationAndTrailingBytes) {
+  const TuckerFactorization model = TrainModel(MakeTensor(), 1);
+  const std::string pristine = SerializeSnapshot(model);
+  EXPECT_THROW(ParseSnapshot(pristine.substr(0, 10)), std::runtime_error);
+  EXPECT_THROW(ParseSnapshot(pristine.substr(0, pristine.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW(ParseSnapshot(pristine + "extra"), std::runtime_error);
+  EXPECT_THROW(ParseSnapshot(""), std::runtime_error);
+}
+
+// Crafted hostile header: correct magic/version/CRC (the CRC is
+// computable by anyone) but dims/ranks declaring terabyte-scale
+// factors/core in a ~100-byte body. The parser must reject it from the
+// byte budget *before* allocating, not OOM or overflow rows*cols.
+TEST(SnapshotTest, RejectsHugeDeclaredShapesWithoutAllocating) {
+  const auto crc32 = [](const std::string& data) {
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (const char ch : data) {
+      crc ^= static_cast<unsigned char>(ch);
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
+      }
+    }
+    return crc ^ 0xFFFFFFFFu;
+  };
+  const auto append_i64 = [](std::string* out, std::int64_t value) {
+    out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  const auto make_snapshot = [&](const std::vector<std::int64_t>& dims,
+                                 const std::vector<std::int64_t>& ranks,
+                                 std::int64_t core_nnz) {
+    std::string body;
+    append_i64(&body, static_cast<std::int64_t>(dims.size()));
+    for (const std::int64_t d : dims) append_i64(&body, d);
+    for (const std::int64_t r : ranks) append_i64(&body, r);
+    append_i64(&body, core_nnz);
+    std::string bytes = "PTKS";
+    const std::uint32_t version = kSnapshotVersion;
+    bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+    const std::uint32_t crc = crc32(body);
+    bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    const std::uint64_t body_bytes = body.size();
+    bytes.append(reinterpret_cast<const char*>(&body_bytes),
+                 sizeof(body_bytes));
+    return bytes + body;
+  };
+  // Factor 0 would be 2^40 x 8 doubles (64 TiB).
+  EXPECT_THROW(ParseSnapshot(make_snapshot({std::int64_t{1} << 40, 2, 2},
+                                           {8, 1, 1}, 0)),
+               std::runtime_error);
+  // rows * cols would overflow std::int64_t.
+  EXPECT_THROW(ParseSnapshot(make_snapshot({std::int64_t{1} << 62, 2, 2},
+                                           {512, 1, 1}, 0)),
+               std::runtime_error);
+  // Dense core would be 2^39 doubles (4 TiB).
+  EXPECT_THROW(ParseSnapshot(make_snapshot({2, 2, 2},
+                                           {std::int64_t{1} << 13,
+                                            std::int64_t{1} << 13,
+                                            std::int64_t{1} << 13},
+                                           0)),
+               std::runtime_error);
+  // core_nnz claims far more entries than the body holds.
+  EXPECT_THROW(ParseSnapshot(make_snapshot({1, 1, 1}, {1, 1, 1},
+                                           /*core_nnz=*/1)),
+               std::runtime_error);
+}
+
+TEST(SnapshotTest, LoadMissingFileThrows) {
+  EXPECT_THROW(LoadSnapshot("/nonexistent/snapshot.ptks"),
+               std::runtime_error);
+}
+
+// The warm-start contract: checkpoint after k iterations (no
+// orthogonalization), resume through init_snapshot, and the resumed run
+// reproduces the straight run's remaining iterations bit-for-bit —
+// row-wise ALS is deterministic in the (factors, core) state.
+TEST(SnapshotTest, WarmStartContinuesTrajectoryBitIdentically) {
+  const SparseTensor x = MakeTensor(21);
+  PTuckerOptions options;
+  options.core_dims = {3, 3, 3};
+  options.tolerance = 0.0;
+  options.orthogonalize_output = false;
+
+  options.max_iterations = 6;
+  const PTuckerResult straight = PTuckerDecompose(x, options);
+
+  options.max_iterations = 3;
+  const PTuckerResult half = PTuckerDecompose(x, options);
+  const TuckerFactorization checkpoint =
+      ParseSnapshot(SerializeSnapshot(half.model));
+
+  options.init_snapshot = &checkpoint;
+  const PTuckerResult resumed = PTuckerDecompose(x, options);
+
+  ASSERT_EQ(straight.iterations.size(), 6u);
+  ASSERT_EQ(resumed.iterations.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(resumed.iterations[i].error, straight.iterations[i + 3].error)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(resumed.final_error, straight.final_error);
+  ExpectBitIdentical(resumed.model, straight.model);
+}
+
+TEST(SnapshotTest, WarmStartShapeMismatchThrows) {
+  const SparseTensor x = MakeTensor();
+  const TuckerFactorization model = TrainModel(x, 1);  // ranks {3,4,2}
+  PTuckerOptions options;
+  options.core_dims = {3, 4, 3};  // mode-2 rank disagrees
+  options.init_snapshot = &model;
+  EXPECT_THROW(PTuckerDecompose(x, options), std::invalid_argument);
+
+  Rng rng(3);
+  const SparseTensor other = UniformSparseTensor({9, 15, 12}, 200, rng);
+  options.core_dims = {3, 4, 2};
+  EXPECT_THROW(PTuckerDecompose(other, options), std::invalid_argument);
+}
+
+TEST(SnapshotTest, SerializeRejectsInconsistentModel) {
+  TuckerFactorization model = TrainModel(MakeTensor(), 1);
+  model.factors.pop_back();
+  EXPECT_THROW(SerializeSnapshot(model), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ptucker

@@ -1,0 +1,90 @@
+# Serving smoke test: drive the full checkpoint-and-serve loop through
+# ptucker_cli — train a tiny model, save a snapshot, warm-start from it,
+# answer predict and topk queries, and check that unknown subcommands
+# fail loudly (not by silently defaulting to decompose).
+#
+# Invoked by ctest as:
+#   cmake -DPTUCKER_CLI=<path> -DWORK_DIR=<dir> -P serve_smoke.cmake
+
+if(NOT PTUCKER_CLI)
+  message(FATAL_ERROR "PTUCKER_CLI not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(model_path ${WORK_DIR}/serve_smoke_model.ptks)
+set(queries_path ${WORK_DIR}/serve_smoke_queries.tns)
+file(REMOVE ${model_path})
+
+# run(<outvar> <expected_rc> args...): run the CLI, assert the exit code.
+function(run outvar expected_rc)
+  execute_process(
+    COMMAND ${PTUCKER_CLI} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+  )
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR
+      "ptucker_cli ${ARGN} exited with ${rc} (want ${expected_rc})\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${outvar} "${out}\n${err}" PARENT_SCOPE)
+endfunction()
+
+# 1. Train on synthetic data and checkpoint the model.
+run(train_out 0 --selftest --max-iters 4 --seed 42 --quiet
+    --save-model ${model_path})
+if(NOT train_out MATCHES "model snapshot written to")
+  message(FATAL_ERROR "missing snapshot confirmation in:\n${train_out}")
+endif()
+if(NOT EXISTS ${model_path})
+  message(FATAL_ERROR "snapshot file was not created: ${model_path}")
+endif()
+
+# 2. Warm-start a short resume from the checkpoint.
+run(warm_out 0 --selftest --max-iters 2 --seed 42 --quiet
+    --load-model ${model_path})
+if(NOT warm_out MATCHES "warm start from")
+  message(FATAL_ERROR "missing warm-start confirmation in:\n${warm_out}")
+endif()
+
+# 3. Batched predictions at three coordinates (selftest tensor is
+# 50x40x30; .tns values are ignored by predict).
+file(WRITE ${queries_path} "1 1 1 0\n25 20 15 0\n50 40 30 0\n")
+run(predict_out 0 predict --load-model ${model_path}
+    --queries ${queries_path})
+if(NOT predict_out MATCHES "3 predictions")
+  message(FATAL_ERROR "missing predictions header in:\n${predict_out}")
+endif()
+if(NOT predict_out MATCHES "25 20 15 [-0-9.]+")
+  message(FATAL_ERROR "missing/unparseable prediction line in:\n${predict_out}")
+endif()
+
+# 4. Top-K recommendation along mode 2.
+run(topk_out 0 topk --load-model ${model_path} --mode 2 --index 3,1,5 --k 3)
+if(NOT topk_out MATCHES "top-3 along mode 2")
+  message(FATAL_ERROR "missing topk header in:\n${topk_out}")
+endif()
+if(NOT topk_out MATCHES "  3\\. index [0-9]+  predicted [-0-9.]+")
+  message(FATAL_ERROR "missing third topk result in:\n${topk_out}")
+endif()
+
+# 5. Unknown subcommands and flags must fail with a clear error.
+run(bad_sub_out 2 serve --load-model ${model_path})
+if(NOT bad_sub_out MATCHES "unknown subcommand 'serve'")
+  message(FATAL_ERROR "missing unknown-subcommand error in:\n${bad_sub_out}")
+endif()
+run(bad_flag_out 2 predict --load-model ${model_path} --wat 1)
+if(NOT bad_flag_out MATCHES "unknown flag: --wat")
+  message(FATAL_ERROR "missing unknown-flag error in:\n${bad_flag_out}")
+endif()
+run(positional_out 2 predict ${model_path})
+if(NOT positional_out MATCHES "unexpected positional argument")
+  message(FATAL_ERROR "missing positional-argument error in:\n${positional_out}")
+endif()
+
+file(REMOVE ${model_path} ${queries_path})
+message(STATUS "serve_smoke passed")

@@ -1,12 +1,17 @@
 // ptucker_cli — command-line driver for the library.
 //
-// Decomposes a FROSTT `.tns` tensor with P-Tucker (or one of the
-// reimplemented baselines) and writes the factor matrices and core tensor
-// to an output directory.
+// Subcommands (first argument; `decompose` is assumed when omitted):
+//   decompose   factorize --input and optionally checkpoint the model
+//   predict     batch x-hat predictions from a saved model snapshot
+//   topk        top-K completions along one mode from a saved snapshot
 //
 // Typical usage:
 //   ptucker_cli --input ratings.tns --ranks 10,10,5 --output-dir model/
 //               --variant cache --max-iters 20 --test-fraction 0.1
+//               --save-model model.ptks
+//
+//   ptucker_cli predict --load-model model.ptks --queries coords.tns
+//   ptucker_cli topk --load-model model.ptks --mode 2 --index 7,1,3 --k 5
 //
 //   ptucker_cli --selftest       # end-to-end smoke run on synthetic data
 //
@@ -36,6 +41,16 @@
 //   --output-dir DIR      write factor_<n>.txt + core.tns there
 //   --update-core         enable the core-update extension
 //   --quiet               suppress per-iteration output
+//   --save-model PATH     write a binary model snapshot after decomposing
+//   --load-model PATH     decompose: warm-start from this snapshot
+//                         (--ranks defaults to the snapshot's ranks);
+//                         predict/topk: the model to serve
+//   --queries PATH        predict: .tns file of query coordinates
+//                         (values are ignored)
+//   --mode M              topk: 1-based mode to rank candidates along
+//   --index i1,i2,...     topk: 1-based query coordinates (the --mode
+//                         slot is a placeholder and is ignored)
+//   --k K                 topk: number of results (default 10)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +69,8 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "linalg/matrix_io.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
 #include "tensor/io.h"
 #include "util/format.h"
 #include "util/random.h"
@@ -62,7 +79,31 @@ namespace {
 
 using namespace ptucker;
 
+// One row of the subcommand table. The dispatcher and the --help text
+// both read this one table (the DeltaEngineCatalog() pattern), so the
+// accepted subcommands and their documentation cannot drift apart.
+struct SubcommandDescriptor {
+  const char* name;
+  const char* summary;
+};
+
+constexpr SubcommandDescriptor kSubcommands[] = {
+    {"decompose", "factorize --input (the default when no subcommand given)"},
+    {"predict", "batch x-hat predictions from --load-model at --queries"},
+    {"topk", "top-K completions along --mode from --load-model at --index"},
+};
+
+std::string SubcommandNames() {
+  std::string names;
+  for (const SubcommandDescriptor& sub : kSubcommands) {
+    if (!names.empty()) names += ", ";
+    names += sub.name;
+  }
+  return names;
+}
+
 struct CliConfig {
+  std::string subcommand = "decompose";
   std::string input;
   std::string output_dir;
   std::string method = "ptucker";
@@ -83,6 +124,12 @@ struct CliConfig {
   bool update_core = false;
   bool quiet = false;
   bool selftest = false;
+  std::string save_model;
+  std::string load_model;
+  std::string queries;
+  std::int64_t topk_mode = 0;  // 1-based, as in .tns files
+  std::vector<std::int64_t> topk_index;
+  std::int64_t topk_k = 10;
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -93,9 +140,19 @@ struct CliConfig {
 
 void PrintUsageAndExit() {
   std::printf(
-      "usage: ptucker_cli --input X.tns --ranks J1,J2,... [options]\n"
-      "       ptucker_cli --selftest\n\n"
-      "methods:  ptucker (default) hooi shot csf wopt cp\n"
+      "usage: ptucker_cli [subcommand] --input X.tns --ranks J1,J2,... "
+      "[options]\n"
+      "       ptucker_cli predict --load-model M.ptks --queries Q.tns\n"
+      "       ptucker_cli topk --load-model M.ptks --mode M --index "
+      "i1,i2,... [--k K]\n"
+      "       ptucker_cli --selftest\n\n");
+  // Subcommand list generated from the same table the dispatcher uses.
+  std::printf("subcommands (first argument; default decompose):\n");
+  for (const SubcommandDescriptor& sub : kSubcommands) {
+    std::printf("  %-18s %s\n", sub.name, sub.summary);
+  }
+  std::printf(
+      "\nmethods:  ptucker (default) hooi shot csf wopt cp\n"
       "variants: memory (default) cache approx\n");
   // The engine list is generated from DeltaEngineCatalog() — the same
   // table the parser consults — so help and parser cannot drift.
@@ -111,33 +168,60 @@ void PrintUsageAndExit() {
       "options:  --lambda --max-iters --tolerance --truncation-rate\n"
       "          --sample-rate --adaptive-eps --tile-width --threads\n"
       "          --seed --test-fraction --output-dir --update-core --quiet\n"
+      "model:    --save-model PATH (checkpoint after decompose)\n"
+      "          --load-model PATH (decompose: warm start; predict/topk:\n"
+      "          the served model) --queries PATH --mode M --index i1,...\n"
+      "          --k K\n"
       "flags accept both '--flag value' and '--flag=value'\n");
   std::exit(0);
 }
 
-std::vector<std::int64_t> ParseRanks(const std::string& spec) {
-  std::vector<std::int64_t> ranks;
+// Comma-separated list of positive integers (--ranks, --index).
+std::vector<std::int64_t> ParseIntList(const std::string& spec,
+                                       const char* flag) {
+  std::vector<std::int64_t> values;
   std::size_t start = 0;
   while (start <= spec.size()) {
     const std::size_t comma = spec.find(',', start);
     const std::string token =
         spec.substr(start, comma == std::string::npos ? std::string::npos
                                                       : comma - start);
-    if (token.empty()) Fail("bad --ranks value: '" + spec + "'");
+    if (token.empty()) {
+      Fail(std::string("bad ") + flag + " value: '" + spec + "'");
+    }
     char* end = nullptr;
     const long value = std::strtol(token.c_str(), &end, 10);
     if (*end != '\0' || value < 1) {
-      Fail("bad rank '" + token + "' in --ranks");
+      Fail("bad value '" + token + "' in " + flag +
+           " (positive integers expected)");
     }
-    ranks.push_back(value);
+    values.push_back(value);
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
-  return ranks;
+  return values;
 }
 
 CliConfig ParseArgs(int argc, char** argv) {
   CliConfig config;
+  // An optional subcommand leads the argument list; every later
+  // positional argument is an error, and an unrecognized subcommand is
+  // rejected against the catalog instead of silently falling back to
+  // decompose.
+  int first_flag = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string token = argv[1];
+    bool known = false;
+    for (const SubcommandDescriptor& sub : kSubcommands) {
+      known |= token == sub.name;
+    }
+    if (!known) {
+      Fail("unknown subcommand '" + token + "'; expected one of: " +
+           SubcommandNames());
+    }
+    config.subcommand = token;
+    first_flag = 2;
+  }
   // `--flag=value` is split into flag + inline value; `--flag value` reads
   // the next argv slot.
   std::string inline_value;
@@ -150,9 +234,14 @@ CliConfig ParseArgs(int argc, char** argv) {
     if (i + 1 >= argc) Fail(std::string("missing value for ") + argv[i]);
     return argv[++i];
   };
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_flag; i < argc; ++i) {
     std::string arg = argv[i];
     has_inline_value = false;
+    if (arg.empty() || arg[0] != '-') {
+      Fail("unexpected positional argument '" + arg +
+           "' (only one leading subcommand is accepted; subcommands: " +
+           SubcommandNames() + ")");
+    }
     if (arg.rfind("--", 0) == 0) {
       const std::size_t eq = arg.find('=');
       if (eq != std::string::npos) {
@@ -167,7 +256,8 @@ CliConfig ParseArgs(int argc, char** argv) {
     else if (arg == "--method") config.method = need_value(i);
     else if (arg == "--variant") config.variant = need_value(i);
     else if (arg == "--delta-engine") config.delta_engine = need_value(i);
-    else if (arg == "--ranks") config.ranks = ParseRanks(need_value(i));
+    else if (arg == "--ranks")
+      config.ranks = ParseIntList(need_value(i), "--ranks");
     else if (arg == "--rank") config.uniform_rank = std::stoll(need_value(i));
     else if (arg == "--lambda") config.lambda = std::stod(need_value(i));
     else if (arg == "--max-iters") config.max_iters = std::stoi(need_value(i));
@@ -187,6 +277,13 @@ CliConfig ParseArgs(int argc, char** argv) {
     else if (arg == "--update-core") config.update_core = true;
     else if (arg == "--quiet") config.quiet = true;
     else if (arg == "--selftest") config.selftest = true;
+    else if (arg == "--save-model") config.save_model = need_value(i);
+    else if (arg == "--load-model") config.load_model = need_value(i);
+    else if (arg == "--queries") config.queries = need_value(i);
+    else if (arg == "--mode") config.topk_mode = std::stoll(need_value(i));
+    else if (arg == "--index")
+      config.topk_index = ParseIntList(need_value(i), "--index");
+    else if (arg == "--k") config.topk_k = std::stoll(need_value(i));
     else Fail("unknown flag: " + arg);
     if (has_inline_value) Fail("flag does not take a value: " + arg);
   }
@@ -214,6 +311,86 @@ void WriteModel(const TuckerFactorization& model,
               output_dir.c_str(), model.factors.size());
 }
 
+// Loads --load-model and stands up a serving snapshot + service over it
+// (shared by the predict and topk subcommands).
+PredictionService MakeService(const CliConfig& config) {
+  if (config.load_model.empty()) {
+    Fail(config.subcommand + " requires --load-model PATH");
+  }
+  TuckerFactorization model = LoadSnapshot(config.load_model);
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      ModelSnapshot::Create(std::move(model), config.tile_width);
+  std::printf("model: %lld modes, dims ",
+              static_cast<long long>(snapshot->order()));
+  for (std::int64_t n = 0; n < snapshot->order(); ++n) {
+    std::printf("%s%lld", n == 0 ? "" : "x",
+                static_cast<long long>(snapshot->dim(n)));
+  }
+  std::printf(", core nnz %lld\n",
+              static_cast<long long>(snapshot->core_nnz()));
+  return PredictionService(std::move(snapshot));
+}
+
+int RunPredict(const CliConfig& config) {
+  if (config.queries.empty()) {
+    Fail("predict requires --queries PATH (.tns coordinates)");
+  }
+  PredictionService service = MakeService(config);
+  const std::shared_ptr<const ModelSnapshot> snapshot = service.snapshot();
+  std::vector<std::int64_t> dims;
+  for (std::int64_t n = 0; n < snapshot->order(); ++n) {
+    dims.push_back(snapshot->dim(n));
+  }
+  // Passing the model dims validates every query coordinate at parse
+  // time with a line-numbered error.
+  const SparseTensor queries = ReadTns(config.queries, dims);
+  const std::vector<double> predictions = service.PredictBatch(queries);
+  std::printf("%lld predictions (1-based coordinates):\n",
+              static_cast<long long>(queries.nnz()));
+  for (std::int64_t e = 0; e < queries.nnz(); ++e) {
+    for (std::int64_t n = 0; n < queries.order(); ++n) {
+      std::printf("%lld ", static_cast<long long>(queries.index(e, n) + 1));
+    }
+    std::printf("%.6f\n", predictions[static_cast<std::size_t>(e)]);
+  }
+  return 0;
+}
+
+int RunTopk(const CliConfig& config) {
+  PredictionService service = MakeService(config);
+  const std::shared_ptr<const ModelSnapshot> snapshot = service.snapshot();
+  const std::int64_t order = snapshot->order();
+  if (config.topk_mode < 1 || config.topk_mode > order) {
+    Fail("topk requires --mode in [1, " + std::to_string(order) +
+         "] (1-based, like .tns indices)");
+  }
+  if (static_cast<std::int64_t>(config.topk_index.size()) != order) {
+    Fail("topk requires --index with " + std::to_string(order) +
+         " comma-separated 1-based coordinates (the --mode slot is "
+         "ignored)");
+  }
+  if (config.topk_k < 1) Fail("--k must be >= 1");
+  const std::int64_t mode = config.topk_mode - 1;
+  std::vector<std::int64_t> index;
+  for (std::size_t n = 0; n < config.topk_index.size(); ++n) {
+    // 1-based on the command line; the scanned mode's slot is a
+    // placeholder TopK overwrites, clamp it into bounds.
+    index.push_back(static_cast<std::int64_t>(n) == mode
+                        ? 0
+                        : config.topk_index[n] - 1);
+  }
+  const std::vector<ScoredIndex> top =
+      service.TopK(mode, index, config.topk_k);
+  std::printf("top-%lld along mode %lld:\n",
+              static_cast<long long>(config.topk_k),
+              static_cast<long long>(config.topk_mode));
+  for (std::size_t r = 0; r < top.size(); ++r) {
+    std::printf("%3zu. index %lld  predicted %.6f\n", r + 1,
+                static_cast<long long>(top[r].index + 1), top[r].score);
+  }
+  return 0;
+}
+
 int Run(const CliConfig& config) {
   SparseTensor x;
   if (config.selftest) {
@@ -226,10 +403,24 @@ int Run(const CliConfig& config) {
     x.BuildModeIndex();
   }
 
+  // Warm start: resume from a checkpointed model instead of random init.
+  TuckerFactorization warm_start;
+  const bool has_warm_start = !config.load_model.empty();
+  if (has_warm_start) {
+    if (config.method != "ptucker") {
+      Fail("--load-model warm start requires --method ptucker");
+    }
+    warm_start = LoadSnapshot(config.load_model);
+    std::printf("warm start from %s (core nnz %lld)\n",
+                config.load_model.c_str(),
+                static_cast<long long>(warm_start.core.CountNonZeros()));
+  }
+
   std::vector<std::int64_t> ranks = config.ranks;
   if (ranks.empty() && config.uniform_rank > 0) {
     ranks.assign(static_cast<std::size_t>(x.order()), config.uniform_rank);
   }
+  if (ranks.empty() && has_warm_start) ranks = warm_start.core.dims();
   if (ranks.empty() && config.selftest) ranks = {4, 4, 4};
   if (ranks.empty()) Fail("--ranks (or --rank) is required");
   if (static_cast<std::int64_t>(ranks.size()) != x.order()) {
@@ -279,6 +470,7 @@ int Run(const CliConfig& config) {
     }
     options.adaptive_epsilon = config.adaptive_eps;
     options.tile_width = config.tile_width;
+    if (has_warm_start) options.init_snapshot = &warm_start;
     // Engine names resolve through the same catalog --help prints.
     const DeltaEngineDescriptor* engine =
         FindDeltaEngineByName(config.delta_engine);
@@ -337,6 +529,10 @@ int Run(const CliConfig& config) {
                 TestRmse(test, model.core, model.factors));
   }
   if (!config.output_dir.empty()) WriteModel(model, config.output_dir);
+  if (!config.save_model.empty()) {
+    SaveSnapshot(config.save_model, model);
+    std::printf("model snapshot written to %s\n", config.save_model.c_str());
+  }
   if (config.selftest) {
     // Sanity gates for the ctest integration run.
     if (!(final_error > 0.0) || !(final_error < train.FrobeniusNorm())) {
@@ -352,7 +548,10 @@ int Run(const CliConfig& config) {
 
 int main(int argc, char** argv) {
   try {
-    return Run(ParseArgs(argc, argv));
+    const CliConfig config = ParseArgs(argc, argv);
+    if (config.subcommand == "predict") return RunPredict(config);
+    if (config.subcommand == "topk") return RunTopk(config);
+    return Run(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ptucker_cli: error: %s\n", e.what());
     return 1;
