@@ -1,0 +1,105 @@
+#include "analytics/ivf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/kmeans.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ptucker {
+
+IvfIndex BuildIvfRows(const FactorView& rows, const IvfBuildOptions& options) {
+  IvfIndex index;
+  const std::int64_t n = rows.rows();
+  const std::int64_t rank = rows.cols();
+  if (n < options.min_rows || rank < 1) return index;
+
+  std::int64_t k = options.k;
+  if (k <= 0) {
+    k = std::min<std::int64_t>(
+        1024, static_cast<std::int64_t>(
+                  std::ceil(std::sqrt(static_cast<double>(n)))));
+  }
+  k = std::max<std::int64_t>(1, std::min(k, n));
+
+  // Train the coarse quantizer on a deterministic sample so index build
+  // time stays bounded on very tall factors; the assignment pass below
+  // still covers every row.
+  Rng rng(options.seed);
+  Matrix train;
+  if (n <= options.max_train_rows) {
+    train = Matrix(n, rank);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double* src = rows.Row(i);
+      std::copy(src, src + rank, train.Row(i));
+    }
+  } else {
+    std::vector<std::int64_t> sample = rng.Sample(n, options.max_train_rows);
+    std::sort(sample.begin(), sample.end());
+    train = Matrix(options.max_train_rows, rank);
+    for (std::int64_t i = 0; i < options.max_train_rows; ++i) {
+      const double* src = rows.Row(sample[static_cast<std::size_t>(i)]);
+      std::copy(src, src + rank, train.Row(i));
+    }
+    k = std::min(k, options.max_train_rows);
+  }
+
+  KMeansOptions km;
+  km.k = k;
+  km.max_iterations = options.max_iterations;
+  km.seed = options.seed;
+  const KMeansResult result = KMeansRows(train, km);
+
+  index.k = k;
+  index.centroids = result.centroids;
+
+  // Full assignment pass: nearest centroid by squared L2, ties broken to
+  // the lowest cluster id — per-row independent, so the parallel loop is
+  // deterministic regardless of thread count.
+  std::vector<std::int32_t> assignment(static_cast<std::size_t>(n), 0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double* row = rows.Row(i);
+    std::int64_t best = 0;
+    double best_dist = 0.0;
+    for (std::int64_t c = 0; c < k; ++c) {
+      const double* centroid = index.centroids.Row(c);
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < rank; ++j) {
+        const double d = row[j] - centroid[j];
+        dist += d * d;
+      }
+      if (c == 0 || dist < best_dist) {
+        best = c;
+        best_dist = dist;
+      }
+    }
+    assignment[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(best);
+  }
+
+  // Counting sort into CSR lists; iterating rows ascending makes each
+  // cluster's member list ascending, which the exact-probe merge relies
+  // on for its (score desc, index asc) total order.
+  index.offsets.assign(static_cast<std::size_t>(k) + 1, 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    ++index.offsets[static_cast<std::size_t>(assignment[
+        static_cast<std::size_t>(i)]) + 1];
+  }
+  for (std::int64_t c = 0; c < k; ++c) {
+    index.offsets[static_cast<std::size_t>(c) + 1] +=
+        index.offsets[static_cast<std::size_t>(c)];
+  }
+  index.ids.resize(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> cursor(index.offsets.begin(),
+                                   index.offsets.end() - 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t c =
+        static_cast<std::size_t>(assignment[static_cast<std::size_t>(i)]);
+    index.ids[static_cast<std::size_t>(cursor[c]++)] =
+        static_cast<std::int32_t>(i);
+  }
+  return index;
+}
+
+}  // namespace ptucker

@@ -1,0 +1,83 @@
+/// \file
+/// \brief IVF-style coarse quantization of factor rows for sublinear
+/// top-K: k-means centroids over a mode's factor matrix plus CSR inverted
+/// lists mapping each centroid to its member rows. Built at
+/// snapshot-write time (serialized into snapshot v2 as an optional
+/// section) and probed by PredictionService::TopK, which scans only the
+/// `nprobe` clusters whose centroids score best against the query's δ
+/// vector instead of all I_n rows.
+#ifndef PTUCKER_ANALYTICS_IVF_H_
+#define PTUCKER_ANALYTICS_IVF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/factor_view.h"
+#include "linalg/matrix.h"
+#include "util/span.h"
+
+namespace ptucker {
+
+/// A coarse inverted-file index over one mode's factor rows. `k == 0`
+/// means no index was built for the mode (too few rows); consumers must
+/// fall back to the exhaustive scan.
+struct IvfIndex {
+  /// Number of coarse clusters (0 = index absent).
+  std::int64_t k = 0;
+  /// k x rank centroid matrix.
+  Matrix centroids;
+  /// CSR cluster boundaries: cluster c's member rows are
+  /// ids[offsets[c] .. offsets[c+1]). Size k + 1.
+  std::vector<std::int64_t> offsets;
+  /// Member row ids grouped by cluster, ascending within each cluster.
+  /// Size = the mode's row count (every row belongs to exactly one
+  /// cluster).
+  std::vector<std::int32_t> ids;
+};
+
+/// Non-owning view of a serialized IvfIndex (the snapshot-v2 centroid
+/// section); same shape contract as IvfIndex.
+struct IvfModeView {
+  std::int64_t k = 0;                  ///< clusters (0 = section absent)
+  FactorView centroids;                ///< k x rank
+  Span<const std::int64_t> offsets;    ///< k + 1 CSR boundaries
+  Span<const std::int32_t> ids;        ///< rows, grouped by cluster
+};
+
+struct IvfBuildOptions {
+  /// Coarse cluster count; 0 picks min(1024, ceil(sqrt(rows))) — the
+  /// classic IVF √I sizing.
+  std::int64_t k = 0;
+  /// Rows below this skip index construction entirely (a linear scan is
+  /// already cheap).
+  std::int64_t min_rows = 64;
+  /// k-means trains on at most this many sampled rows; assignment still
+  /// covers every row.
+  std::int64_t max_train_rows = 16384;
+  /// Lloyd iterations for the coarse centroids (a rough quantizer is
+  /// enough — recall comes from nprobe, not centroid polish).
+  int max_iterations = 12;
+  /// Deterministic training-sample / k-means seed.
+  std::uint64_t seed = 0x1f5eedULL;
+};
+
+/// Builds the coarse index over `rows` (a mode's factor matrix).
+/// Deterministic for fixed options: the training sample, k-means seeding,
+/// and the full assignment pass (nearest centroid, ties to the lowest
+/// cluster id) are all seed-driven, and member lists are ascending.
+/// Returns an empty index (k = 0) when rows < min_rows.
+IvfIndex BuildIvfRows(const FactorView& rows, const IvfBuildOptions& options);
+
+/// View of an owning index (for probing code shared with the mmap path).
+inline IvfModeView MakeIvfView(const IvfIndex& index) {
+  IvfModeView view;
+  view.k = index.k;
+  view.centroids = FactorView(index.centroids);
+  view.offsets = {index.offsets.data(), index.offsets.size()};
+  view.ids = {index.ids.data(), index.ids.size()};
+  return view;
+}
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_ANALYTICS_IVF_H_

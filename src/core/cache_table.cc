@@ -5,7 +5,7 @@
 namespace ptucker {
 
 CacheTable::CacheTable(const SparseTensor& x, const CoreEntryList& core,
-                       const std::vector<Matrix>& factors,
+                       const std::vector<FactorView>& factors,
                        MemoryTracker* tracker)
     : num_entries_(x.nnz()), num_core_(core.size()), tracker_(tracker) {
   charged_bytes_ =
@@ -30,7 +30,7 @@ CacheTable::~CacheTable() {
 }
 
 double CacheTable::RecomputeProduct(const CoreEntryList& core,
-                                    const std::vector<Matrix>& factors,
+                                    const std::vector<FactorView>& factors,
                                     const std::int64_t* entry_index,
                                     std::int64_t b) const {
   const std::int64_t order = core.order();
@@ -43,12 +43,12 @@ double CacheTable::RecomputeProduct(const CoreEntryList& core,
 }
 
 void CacheTable::ComputeDeltaCached(const CoreEntryList& core,
-                                    const std::vector<Matrix>& factors,
+                                    const std::vector<FactorView>& factors,
                                     std::int64_t entry,
                                     const std::int64_t* entry_index,
                                     std::int64_t mode, double* delta) const {
   const std::int64_t order = core.order();
-  const Matrix& a_n = factors[static_cast<std::size_t>(mode)];
+  const FactorView& a_n = factors[static_cast<std::size_t>(mode)];
   const std::int64_t rank = a_n.cols();
   for (std::int64_t j = 0; j < rank; ++j) delta[j] = 0.0;
 
@@ -75,9 +75,9 @@ void CacheTable::ComputeDeltaCached(const CoreEntryList& core,
 
 void CacheTable::UpdateAfterMode(const SparseTensor& x,
                                  const CoreEntryList& core,
-                                 const std::vector<Matrix>& factors,
+                                 const std::vector<FactorView>& factors,
                                  std::int64_t mode, const Matrix& old_factor) {
-  const Matrix& new_factor = factors[static_cast<std::size_t>(mode)];
+  const FactorView& new_factor = factors[static_cast<std::size_t>(mode)];
 #pragma omp parallel for schedule(static)
   for (std::int64_t e = 0; e < num_entries_; ++e) {
     const std::int64_t* idx = x.index(e);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/delta.h"
+#include "linalg/factor_view.h"
 #include "linalg/matrix.h"
 #include "tensor/sparse_tensor.h"
 #include "util/memory_tracker.h"
@@ -32,7 +33,12 @@ class CacheTable {
   /// Charges |Ω|·|G| doubles to `tracker` (throws OutOfMemoryBudget if
   /// over budget) and fills the table in parallel.
   CacheTable(const SparseTensor& x, const CoreEntryList& core,
-             const std::vector<Matrix>& factors, MemoryTracker* tracker);
+             const std::vector<FactorView>& factors, MemoryTracker* tracker);
+
+  /// \overload over owning factor matrices (training path).
+  CacheTable(const SparseTensor& x, const CoreEntryList& core,
+             const std::vector<Matrix>& factors, MemoryTracker* tracker)
+      : CacheTable(x, core, MakeFactorViews(factors), tracker) {}
   /// Releases the charged bytes.
   ~CacheTable();
 
@@ -52,15 +58,31 @@ class CacheTable {
   /// Computes δ for observed entry `entry` (coordinates `entry_index`)
   /// using the cached products. `delta` holds Jn doubles.
   void ComputeDeltaCached(const CoreEntryList& core,
-                          const std::vector<Matrix>& factors,
+                          const std::vector<FactorView>& factors,
                           std::int64_t entry, const std::int64_t* entry_index,
                           std::int64_t mode, double* delta) const;
+
+  /// \overload over owning factor matrices (training path).
+  void ComputeDeltaCached(const CoreEntryList& core,
+                          const std::vector<Matrix>& factors,
+                          std::int64_t entry, const std::int64_t* entry_index,
+                          std::int64_t mode, double* delta) const {
+    ComputeDeltaCached(core, MakeFactorViews(factors), entry, entry_index,
+                       mode, delta);
+  }
 
   /// Rescales the table after mode `mode`'s factor changed from
   /// `old_factor` to `new_factor` (Algorithm 3 lines 16-19).
   void UpdateAfterMode(const SparseTensor& x, const CoreEntryList& core,
+                       const std::vector<FactorView>& factors,
+                       std::int64_t mode, const Matrix& old_factor);
+
+  /// \overload over owning factor matrices (training path).
+  void UpdateAfterMode(const SparseTensor& x, const CoreEntryList& core,
                        const std::vector<Matrix>& factors, std::int64_t mode,
-                       const Matrix& old_factor);
+                       const Matrix& old_factor) {
+    UpdateAfterMode(x, core, MakeFactorViews(factors), mode, old_factor);
+  }
 
   /// Bytes held by the table (the Θ(|Ω|·|G|) trade of §III-C).
   std::int64_t ByteSize() const {
@@ -70,7 +92,7 @@ class CacheTable {
  private:
   /// Recomputes Pres[entry][b] = G_b Π_k A(k)(ik, jk) from scratch.
   double RecomputeProduct(const CoreEntryList& core,
-                          const std::vector<Matrix>& factors,
+                          const std::vector<FactorView>& factors,
                           const std::int64_t* entry_index,
                           std::int64_t b) const;
 

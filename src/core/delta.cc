@@ -4,6 +4,17 @@
 
 namespace ptucker {
 
+CoreEntryList::CoreEntryList(std::int64_t order,
+                             Span<const std::int32_t> indices,
+                             Span<const double> values)
+    : order_(order),
+      indices_(indices.begin(), indices.end()),
+      values_(values.begin(), values.end()) {
+  PTUCKER_CHECK(order_ >= 1);
+  PTUCKER_CHECK(indices.size() ==
+                values.size() * static_cast<std::size_t>(order_));
+}
+
 CoreEntryList::CoreEntryList(const DenseTensor& core) : order_(core.order()) {
   std::vector<std::int64_t> index(static_cast<std::size_t>(order_));
   for (std::int64_t linear = 0; linear < core.size(); ++linear) {
@@ -62,10 +73,15 @@ std::int64_t CoreEntryList::Remove(const std::vector<char>& remove,
   return removed;
 }
 
-void ComputeDelta(const CoreEntryList& core,
-                  const std::vector<Matrix>& factors,
-                  const std::int64_t* entry_index, std::int64_t mode,
-                  double* delta) {
+namespace {
+
+// One implementation for both factor containers (owning Matrix and
+// non-owning FactorView share the read API), so neither overload pays a
+// per-call conversion in these per-entry hot kernels.
+template <typename Factors>
+void ComputeDeltaImpl(const CoreEntryList& core, const Factors& factors,
+                      const std::int64_t* entry_index, std::int64_t mode,
+                      double* delta) {
   const std::int64_t order = core.order();
   const std::int64_t rank = factors[static_cast<std::size_t>(mode)].cols();
   for (std::int64_t j = 0; j < rank; ++j) delta[j] = 0.0;
@@ -83,9 +99,10 @@ void ComputeDelta(const CoreEntryList& core,
   }
 }
 
-double ReconstructFromList(const CoreEntryList& core,
-                           const std::vector<Matrix>& factors,
-                           const std::int64_t* entry_index) {
+template <typename Factors>
+double ReconstructFromListImpl(const CoreEntryList& core,
+                               const Factors& factors,
+                               const std::int64_t* entry_index) {
   const std::int64_t order = core.order();
   const std::int64_t n_entries = core.size();
   double sum = 0.0;
@@ -99,6 +116,34 @@ double ReconstructFromList(const CoreEntryList& core,
     sum += product;
   }
   return sum;
+}
+
+}  // namespace
+
+void ComputeDelta(const CoreEntryList& core,
+                  const std::vector<Matrix>& factors,
+                  const std::int64_t* entry_index, std::int64_t mode,
+                  double* delta) {
+  ComputeDeltaImpl(core, factors, entry_index, mode, delta);
+}
+
+void ComputeDelta(const CoreEntryList& core,
+                  const std::vector<FactorView>& factors,
+                  const std::int64_t* entry_index, std::int64_t mode,
+                  double* delta) {
+  ComputeDeltaImpl(core, factors, entry_index, mode, delta);
+}
+
+double ReconstructFromList(const CoreEntryList& core,
+                           const std::vector<Matrix>& factors,
+                           const std::int64_t* entry_index) {
+  return ReconstructFromListImpl(core, factors, entry_index);
+}
+
+double ReconstructFromList(const CoreEntryList& core,
+                           const std::vector<FactorView>& factors,
+                           const std::int64_t* entry_index) {
+  return ReconstructFromListImpl(core, factors, entry_index);
 }
 
 }  // namespace ptucker

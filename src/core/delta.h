@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "linalg/factor_view.h"
 #include "linalg/matrix.h"
 #include "tensor/dense_tensor.h"
+#include "util/span.h"
 
 namespace ptucker {
 
@@ -27,6 +29,13 @@ class CoreEntryList {
 
   /// Collects the nonzeros of `core`.
   explicit CoreEntryList(const DenseTensor& core);
+
+  /// Copies a pre-built entry list: `values` holds |G| core values and
+  /// `indices` the matching entry-major multi-indices (|G| × order). Used
+  /// by the serving plane to materialize the list straight from a
+  /// snapshot's COO core sections.
+  CoreEntryList(std::int64_t order, Span<const std::int32_t> indices,
+                Span<const double> values);
 
   /// Number of nonzero core entries |G|.
   std::int64_t size() const {
@@ -66,10 +75,22 @@ void ComputeDelta(const CoreEntryList& core,
                   const std::int64_t* entry_index, std::int64_t mode,
                   double* delta);
 
+/// \overload FactorView flavor for the serving plane (same kernel; the
+/// Matrix overload stays conversion-free for the training hot path).
+void ComputeDelta(const CoreEntryList& core,
+                  const std::vector<FactorView>& factors,
+                  const std::int64_t* entry_index, std::int64_t mode,
+                  double* delta);
+
 /// Full per-entry reconstruction x̂_α (Eq. 4) driven by the entry list:
 /// Σ_β G_β Π_k A(k)(ik, jk). O(|G|·N).
 double ReconstructFromList(const CoreEntryList& core,
                            const std::vector<Matrix>& factors,
+                           const std::int64_t* entry_index);
+
+/// \overload FactorView flavor for the serving plane.
+double ReconstructFromList(const CoreEntryList& core,
+                           const std::vector<FactorView>& factors,
                            const std::int64_t* entry_index);
 
 }  // namespace ptucker

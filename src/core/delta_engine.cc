@@ -19,7 +19,7 @@ double DeltaEngine::Reconstruct(const std::int64_t* entry_index) const {
 void DeltaEngine::ComputeProducts(const std::int64_t* entry_index,
                                   double* products) const {
   const CoreEntryList& list = core();
-  const std::vector<Matrix>& f = factors();
+  const std::vector<FactorView>& f = factors();
   const std::int64_t order = list.order();
   const std::int64_t n_entries = list.size();
   for (std::int64_t b = 0; b < n_entries; ++b) {
@@ -35,7 +35,7 @@ void DeltaEngine::ComputeProducts(const std::int64_t* entry_index,
 double DeltaEngine::DesignDot(const std::int64_t* entry_index,
                               const double* g) const {
   const CoreEntryList& list = core();
-  const std::vector<Matrix>& f = factors();
+  const std::vector<FactorView>& f = factors();
   const std::int64_t order = list.order();
   const std::int64_t n_entries = list.size();
   double sum = 0.0;
@@ -53,7 +53,7 @@ double DeltaEngine::DesignDot(const std::int64_t* entry_index,
 void DeltaEngine::DesignAccumulate(const std::int64_t* entry_index,
                                    double scale, double* z) const {
   const CoreEntryList& list = core();
-  const std::vector<Matrix>& f = factors();
+  const std::vector<FactorView>& f = factors();
   const std::int64_t order = list.order();
   const std::int64_t n_entries = list.size();
   for (std::int64_t b = 0; b < n_entries; ++b) {
@@ -119,9 +119,15 @@ void NaiveDeltaEngine::ComputeDelta(std::int64_t /*entry*/,
 ModeMajorDeltaEngine::ModeMajorDeltaEngine(const CoreEntryList& core,
                                            const std::vector<Matrix>& factors,
                                            MemoryTracker* tracker)
-    : DeltaEngine(core, factors), tracker_(tracker) {
+    : ModeMajorDeltaEngine(core, MakeFactorViews(factors), tracker) {}
+
+ModeMajorDeltaEngine::ModeMajorDeltaEngine(const CoreEntryList& core,
+                                           std::vector<FactorView> factors,
+                                           MemoryTracker* tracker)
+    : DeltaEngine(core, std::move(factors)), tracker_(tracker) {
   PTUCKER_CHECK(core.order() >= 1 && core.order() <= kMaxOrder);
-  PTUCKER_CHECK(static_cast<std::int64_t>(factors.size()) == core.order());
+  PTUCKER_CHECK(static_cast<std::int64_t>(this->factors().size()) ==
+                core.order());
   // Charge before allocating, like the cache table, so an over-budget
   // engine fails as OutOfMemoryBudget without building anything.
   charged_bytes_ = ExpectedBytes();
@@ -196,7 +202,7 @@ namespace {
 
 // Gathers the factor-row base pointers for every mode except `skip`
 // (ascending mode order) and returns how many were written.
-inline std::int64_t GatherRows(const std::vector<Matrix>& factors,
+inline std::int64_t GatherRows(const std::vector<FactorView>& factors,
                                const std::int64_t* entry_index,
                                std::int64_t order, std::int64_t skip,
                                const double** rows) {
@@ -471,7 +477,14 @@ AdaptiveDeltaEngine::AdaptiveDeltaEngine(const CoreEntryList& core,
                                          const std::vector<Matrix>& factors,
                                          MemoryTracker* tracker,
                                          double epsilon)
-    : ModeMajorDeltaEngine(core, factors, tracker), epsilon_(epsilon) {
+    : AdaptiveDeltaEngine(core, MakeFactorViews(factors), tracker, epsilon) {}
+
+AdaptiveDeltaEngine::AdaptiveDeltaEngine(const CoreEntryList& core,
+                                         std::vector<FactorView> factors,
+                                         MemoryTracker* tracker,
+                                         double epsilon)
+    : ModeMajorDeltaEngine(core, std::move(factors), tracker),
+      epsilon_(epsilon) {
   PTUCKER_CHECK(epsilon >= 0.0 && epsilon < 1.0);
   RecomputeSkips();
 }
@@ -555,7 +568,13 @@ TiledDeltaEngine::TiledDeltaEngine(const CoreEntryList& core,
                                    const std::vector<Matrix>& factors,
                                    MemoryTracker* tracker,
                                    std::int64_t tile_width)
-    : ModeMajorDeltaEngine(core, factors, tracker),
+    : TiledDeltaEngine(core, MakeFactorViews(factors), tracker, tile_width) {}
+
+TiledDeltaEngine::TiledDeltaEngine(const CoreEntryList& core,
+                                   std::vector<FactorView> factors,
+                                   MemoryTracker* tracker,
+                                   std::int64_t tile_width)
+    : ModeMajorDeltaEngine(core, std::move(factors), tracker),
       tile_(std::min<std::int64_t>(tile_width, kMaxTile)) {
   PTUCKER_CHECK(tile_width >= 1);
 }
@@ -770,14 +789,14 @@ struct PackedTile {
 
 // Transposes the tile's factor rows for every mode except `skip` into
 // `pack` (ascending mode order, like GatherRows).
-inline void PackRows(const std::vector<Matrix>& factors,
+inline void PackRows(const std::vector<FactorView>& factors,
                      const std::int64_t* const* entry_indices,
                      std::int64_t count, std::int64_t order, std::int64_t skip,
                      PackedTile* pack) {
   std::int64_t w = 0;
   for (std::int64_t k = 0; k < order; ++k) {
     if (k == skip) continue;
-    const Matrix& factor = factors[static_cast<std::size_t>(k)];
+    const FactorView& factor = factors[static_cast<std::size_t>(k)];
     const std::int64_t rank = factor.cols();
     double* packed = pack->slots[w++];
     for (std::int64_t i = 0; i < count; ++i) {

@@ -14,6 +14,7 @@
 #include "core/cache_table.h"
 #include "core/delta.h"
 #include "core/options.h"
+#include "linalg/factor_view.h"
 #include "linalg/matrix.h"
 #include "tensor/sparse_tensor.h"
 #include "util/memory_tracker.h"
@@ -38,11 +39,15 @@ namespace ptucker {
 ///   - TiledDeltaEngine     mode-major views + a native B-wide DeltaBatch
 ///                          kernel (cuFasterTucker-style batching).
 ///
-/// Engines hold non-owning views of the core entry list and the factor
-/// matrices, which must outlive the engine. Factor *values* may change in
-/// place at any time (row-wise ALS does); structural changes to the core
-/// list must be announced through the On* hooks so engines with derived
-/// state (reordered views, the Pres table) stay consistent.
+/// Engines hold a non-owning view of the core entry list and non-owning
+/// FactorViews of the factor storage; both referents must outlive the
+/// engine. Construction from owning `std::vector<Matrix>` converts to
+/// views, so the training path is unchanged; the serving plane constructs
+/// from FactorViews directly (e.g. over an mmap-ed snapshot) with zero
+/// copies. Factor *values* may change in place at any time (row-wise ALS
+/// does); structural changes to the core list must be announced through
+/// the On* hooks so engines with derived state (reordered views, the Pres
+/// table) stay consistent.
 ///
 /// Adding another engine (e.g. a SIMD or GPU kernel) means subclassing
 /// (DeltaEngine directly, or ModeMajorDeltaEngine to inherit the regrouped
@@ -54,10 +59,15 @@ namespace ptucker {
 /// walkthrough.
 class DeltaEngine {
  public:
-  /// Binds the engine to (non-owning) views of the core entry list and
-  /// the factor matrices; both must outlive the engine.
+  /// Binds the engine to a (non-owning) view of the core entry list and
+  /// views of the owning factor matrices; both must outlive the engine.
   DeltaEngine(const CoreEntryList& core, const std::vector<Matrix>& factors)
-      : core_(&core), factors_(&factors) {}
+      : core_(&core), factors_(MakeFactorViews(factors)) {}
+
+  /// Binds the engine directly to factor views (serving plane); the core
+  /// list and the storage behind the views must outlive the engine.
+  DeltaEngine(const CoreEntryList& core, std::vector<FactorView> factors)
+      : core_(&core), factors_(std::move(factors)) {}
   virtual ~DeltaEngine() = default;  ///< Engines own only derived state.
 
   DeltaEngine(const DeltaEngine&) = delete;             ///< non-copyable
@@ -153,12 +163,12 @@ class DeltaEngine {
  protected:
   /// The core entry list the engine was bound to (non-owning).
   const CoreEntryList& core() const { return *core_; }
-  /// The factor matrices the engine was bound to (non-owning).
-  const std::vector<Matrix>& factors() const { return *factors_; }
+  /// Views of the factor matrices the engine was bound to (non-owning).
+  const std::vector<FactorView>& factors() const { return factors_; }
 
  private:
   const CoreEntryList* core_;
-  const std::vector<Matrix>* factors_;
+  std::vector<FactorView> factors_;
 };
 
 /// Entry-major scan of the core list — exactly the free functions
@@ -198,6 +208,11 @@ class ModeMajorDeltaEngine : public DeltaEngine {
   /// over budget) before building.
   ModeMajorDeltaEngine(const CoreEntryList& core,
                        const std::vector<Matrix>& factors,
+                       MemoryTracker* tracker);
+
+  /// Same, bound directly to factor views (serving plane).
+  ModeMajorDeltaEngine(const CoreEntryList& core,
+                       std::vector<FactorView> factors,
                        MemoryTracker* tracker);
   /// Releases the view bytes charged to the tracker.
   ~ModeMajorDeltaEngine() override;
@@ -279,6 +294,11 @@ class AdaptiveDeltaEngine final : public ModeMajorDeltaEngine {
                       const std::vector<Matrix>& factors,
                       MemoryTracker* tracker, double epsilon);
 
+  /// Same, bound directly to factor views (serving plane).
+  AdaptiveDeltaEngine(const CoreEntryList& core,
+                      std::vector<FactorView> factors, MemoryTracker* tracker,
+                      double epsilon);
+
   DeltaEngineChoice kind() const override {
     return DeltaEngineChoice::kAdaptive;
   }
@@ -356,6 +376,11 @@ class TiledDeltaEngine final : public ModeMajorDeltaEngine {
   TiledDeltaEngine(const CoreEntryList& core,
                    const std::vector<Matrix>& factors, MemoryTracker* tracker,
                    std::int64_t tile_width);
+
+  /// Same, bound directly to factor views (serving plane — this is the
+  /// engine ModelSnapshot builds zero-copy over an mmap-ed snapshot).
+  TiledDeltaEngine(const CoreEntryList& core, std::vector<FactorView> factors,
+                   MemoryTracker* tracker, std::int64_t tile_width);
 
   DeltaEngineChoice kind() const override { return DeltaEngineChoice::kTiled; }
   const char* name() const override { return "tiled"; }

@@ -1,0 +1,70 @@
+/// \file
+/// \brief Non-owning, read-only view over a row-major factor matrix.
+///
+/// The serving plane (snapshots, delta engines, batched reconstruction)
+/// only ever *reads* factor matrices. FactorView lets those consumers run
+/// directly over memory owned elsewhere — a Matrix, or a section of an
+/// mmap-ed snapshot — without copying a single row. It mirrors the const
+/// subset of Matrix's API exactly, so kernels templated over "something
+/// with rows()/cols()/Row()/operator()" compile against either.
+#ifndef PTUCKER_LINALG_FACTOR_VIEW_H_
+#define PTUCKER_LINALG_FACTOR_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ptucker {
+
+/// Const view of a rows x cols row-major double matrix. Does not own the
+/// data; the owner (a Matrix, a mapped snapshot region) must outlive every
+/// view into it.
+class FactorView {
+ public:
+  /// Empty 0x0 view.
+  constexpr FactorView() : data_(nullptr), rows_(0), cols_(0) {}
+
+  /// View over `rows * cols` row-major doubles starting at `data`.
+  constexpr FactorView(const double* data, std::int64_t rows,
+                       std::int64_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  /// Implicit view of an owning Matrix (the common conversion at the
+  /// owning-training-plane / view-serving-plane seam).
+  FactorView(const Matrix& m)  // NOLINT(runtime/explicit)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+
+  double operator()(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Pointer to the start of row `i`.
+  const double* Row(std::int64_t i) const {
+    return data_ + static_cast<std::size_t>(i * cols_);
+  }
+
+  const double* data() const { return data_; }
+
+ private:
+  const double* data_;
+  std::int64_t rows_;
+  std::int64_t cols_;
+};
+
+/// Views over every factor of an owning model, in mode order.
+inline std::vector<FactorView> MakeFactorViews(
+    const std::vector<Matrix>& factors) {
+  std::vector<FactorView> views;
+  views.reserve(factors.size());
+  for (const Matrix& f : factors) views.emplace_back(f);
+  return views;
+}
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_LINALG_FACTOR_VIEW_H_

@@ -34,10 +34,57 @@ void ValidateQueryIndex(const ModelSnapshot& snapshot,
   }
 }
 
-}  // namespace
+// Ranks the IVF clusters of `ivf` by centroid · δ(mode, index) — the
+// predicted score of each cluster's "average row" — and returns the
+// member ids of the best `nprobe` lists, in ranked-cluster order with
+// ids ascending inside each list. Member ids are range-checked here
+// (deferred from load time so opening a snapshot stays O(1) in I_n).
+std::vector<std::int32_t> ProbeIvf(const ModelSnapshot& snap,
+                                   const IvfModeView& ivf, std::int64_t mode,
+                                   const std::int64_t* index,
+                                   std::int64_t nprobe) {
+  const std::int64_t clusters = ivf.k;
+  const std::int64_t probe =
+      nprobe == 0 ? std::max<std::int64_t>(1, (clusters + 9) / 10)
+                  : std::min(nprobe, clusters);
+  const std::int64_t rank = ivf.centroids.cols();
+  std::vector<double> delta(static_cast<std::size_t>(rank));
+  snap.engine().ComputeDelta(-1, index, mode, delta.data());
 
-ModelSnapshot::ModelSnapshot(TuckerFactorization model)
-    : model_(std::move(model)) {}
+  // Total order (score desc, cluster id asc) keeps the probed candidate
+  // list — and therefore the whole approximate TopK — deterministic.
+  std::vector<ScoredIndex> ranked(static_cast<std::size_t>(clusters));
+  for (std::int64_t c = 0; c < clusters; ++c) {
+    const double* centroid = ivf.centroids.Row(c);
+    double score = 0.0;
+    for (std::int64_t j = 0; j < rank; ++j) score += centroid[j] * delta[j];
+    ranked[static_cast<std::size_t>(c)] = ScoredIndex{c, score};
+  }
+  std::sort(ranked.begin(), ranked.end(), Better);
+
+  const std::int64_t dim = snap.dim(mode);
+  std::vector<std::int32_t> out;
+  for (std::int64_t p = 0; p < probe; ++p) {
+    const std::size_t c =
+        static_cast<std::size_t>(ranked[static_cast<std::size_t>(p)].index);
+    const std::int64_t begin = ivf.offsets[c];
+    const std::int64_t end = ivf.offsets[c + 1];
+    out.reserve(out.size() + static_cast<std::size_t>(end - begin));
+    for (std::int64_t m = begin; m < end; ++m) {
+      const std::int32_t id = ivf.ids[static_cast<std::size_t>(m)];
+      if (id < 0 || static_cast<std::int64_t>(id) >= dim) {
+        throw std::runtime_error(
+            "serve: snapshot IVF member id " + std::to_string(id) +
+            " out of range for mode " + std::to_string(mode) + " (dim " +
+            std::to_string(dim) + ") — snapshot is corrupt");
+      }
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::Create(
     TuckerFactorization model, std::int64_t tile_width,
@@ -62,13 +109,34 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::Create(
     throw std::invalid_argument("serve: tile_width must be >= 1");
   }
   // Two-phase construction: the engine keeps references into the
-  // snapshot's core list and factors, so both must already live at their
-  // final heap address before the engine is built.
-  std::shared_ptr<ModelSnapshot> snapshot(
-      new ModelSnapshot(std::move(model)));
+  // snapshot's core list and views into its factors, so both must
+  // already live at their final heap address before the engine is built.
+  std::shared_ptr<ModelSnapshot> snapshot(new ModelSnapshot());
+  snapshot->model_ = std::move(model);
+  snapshot->factor_views_ = MakeFactorViews(snapshot->model_.factors);
   snapshot->core_list_ = CoreEntryList(snapshot->model_.core);
   snapshot->engine_ = std::make_unique<TiledDeltaEngine>(
-      snapshot->core_list_, snapshot->model_.factors, tracker, tile_width);
+      snapshot->core_list_, snapshot->factor_views_, tracker, tile_width);
+  return snapshot;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::CreateFromFile(
+    const std::string& path, std::int64_t tile_width, MemoryTracker* tracker,
+    bool verify_payload) {
+  if (tile_width < 1) {
+    throw std::invalid_argument("serve: tile_width must be >= 1");
+  }
+  // The zero-copy path: the engine's factor views point straight into
+  // the mapping pinned by file_, and only the (VeST-compact) core list
+  // is copied out of it.
+  std::shared_ptr<ModelSnapshot> snapshot(new ModelSnapshot());
+  snapshot->file_ = MmapSnapshot::Open(path, verify_payload);
+  const MmapSnapshot& file = *snapshot->file_;
+  snapshot->factor_views_ = file.factors();
+  snapshot->core_list_ =
+      CoreEntryList(file.order(), file.core_indices(), file.core_values());
+  snapshot->engine_ = std::make_unique<TiledDeltaEngine>(
+      snapshot->core_list_, snapshot->factor_views_, tracker, tile_width);
   return snapshot;
 }
 
@@ -146,7 +214,7 @@ std::vector<double> PredictionService::PredictBatch(
 
 std::vector<ScoredIndex> PredictionService::TopK(
     std::int64_t mode, const std::vector<std::int64_t>& index, std::int64_t k,
-    const std::vector<char>* exclude) const {
+    const std::vector<char>* exclude, std::int64_t nprobe) const {
   const std::shared_ptr<const ModelSnapshot> snap = snapshot();
   const std::int64_t order = snap->order();
   if (mode < 0 || mode >= order) {
@@ -162,6 +230,25 @@ std::vector<ScoredIndex> PredictionService::TopK(
       static_cast<std::int64_t>(exclude->size()) != candidates) {
     throw std::invalid_argument(
         "serve: exclude must hold dim(mode) flags");
+  }
+
+  // Candidate enumeration: ids == nullptr scans the identity range
+  // [0, candidates) — the exact path; otherwise only the IVF-probed ids
+  // are scored. Both run through the same bounded-heap scan below.
+  std::vector<std::int32_t> probed;
+  const std::int32_t* ids = nullptr;
+  std::int64_t count = candidates;
+  if (nprobe >= 0) {
+    const IvfModeView* ivf = snap->ivf(mode);
+    if (ivf == nullptr) {
+      throw std::invalid_argument(
+          "serve: top-K nprobe requires an IVF section for mode " +
+          std::to_string(mode) +
+          " (write the snapshot with centroids: ptucker_cli convert-model)");
+    }
+    probed = ProbeIvf(*snap, *ivf, mode, index.data(), nprobe);
+    ids = probed.data();
+    count = static_cast<std::int64_t>(probed.size());
   }
 
   const DeltaEngine& engine = snap->engine();
@@ -210,7 +297,11 @@ std::vector<ScoredIndex> PredictionService::TopK(
       pending = 0;
     };
 #pragma omp for schedule(static)
-    for (std::int64_t candidate = 0; candidate < candidates; ++candidate) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      const std::int64_t candidate =
+          ids == nullptr ? i
+                         : static_cast<std::int64_t>(
+                               ids[static_cast<std::size_t>(i)]);
       if (exclude != nullptr &&
           (*exclude)[static_cast<std::size_t>(candidate)] != 0) {
         continue;

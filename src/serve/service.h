@@ -11,54 +11,79 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/delta_engine.h"
 #include "core/ptucker.h"
+#include "linalg/factor_view.h"
+#include "serve/snapshot_v2.h"
 
 namespace ptucker {
 
-/// An immutable, query-ready view of a fitted model: the
-/// TuckerFactorization plus the CoreEntryList and TiledDeltaEngine built
-/// over it once at load time, so every query amortizes the engine's
-/// mode-major views instead of rebuilding them. Always heap-allocated
-/// behind shared_ptr (Create) — the engine holds non-owning references
-/// into the snapshot, so the snapshot must never move after
-/// construction, and shared ownership is what lets in-flight queries
-/// outlive a hot reload.
+/// An immutable, query-ready view of a fitted model: its factor views
+/// plus the CoreEntryList and TiledDeltaEngine built over them once at
+/// load time, so every query amortizes the engine's mode-major views
+/// instead of rebuilding them. Two backings share the interface:
+/// Create() owns a TuckerFactorization, CreateFromFile() pins an
+/// MmapSnapshot and serves the factors straight out of the mapping with
+/// zero copies. Always heap-allocated behind shared_ptr — the engine
+/// holds non-owning references into the snapshot, so the snapshot must
+/// never move after construction, and shared ownership is what lets
+/// in-flight queries outlive a hot reload.
 class ModelSnapshot {
  public:
-  /// Builds a query-ready snapshot over `model`. `tile_width` sizes the
-  /// engine's batch kernels (see PTuckerOptions::tile_width); the
-  /// engine's derived state is charged to `tracker` when given. Throws
-  /// std::invalid_argument when the factor shapes do not match the core.
+  /// Builds a query-ready snapshot over `model` (owning). `tile_width`
+  /// sizes the engine's batch kernels (see PTuckerOptions::tile_width);
+  /// the engine's derived state is charged to `tracker` when given.
+  /// Throws std::invalid_argument when the factor shapes do not match
+  /// the core.
   static std::shared_ptr<const ModelSnapshot> Create(
       TuckerFactorization model, std::int64_t tile_width = kDefaultTileWidth,
       MemoryTracker* tracker = nullptr);
 
-  /// The fitted model the snapshot serves.
-  const TuckerFactorization& model() const { return model_; }
+  /// Builds a query-ready snapshot directly over the snapshot file at
+  /// `path` (v2 is mmap-ed with zero factor copies; v1 falls back to a
+  /// parsed heap buffer). `verify_payload` additionally checks the v2
+  /// payload CRC — off by default so load time stays independent of
+  /// model size. Throws std::runtime_error on open/parse failure and
+  /// std::invalid_argument on a bad `tile_width`.
+  static std::shared_ptr<const ModelSnapshot> CreateFromFile(
+      const std::string& path, std::int64_t tile_width = kDefaultTileWidth,
+      MemoryTracker* tracker = nullptr, bool verify_payload = false);
+
   /// The batch-capable engine bound to the model (lifetime = snapshot).
   const DeltaEngine& engine() const { return *engine_; }
 
   /// Tensor order N.
   std::int64_t order() const {
-    return static_cast<std::int64_t>(model_.factors.size());
+    return static_cast<std::int64_t>(factor_views_.size());
   }
   /// Mode-`mode` dimensionality I_n (rows of factor `mode`).
   std::int64_t dim(std::int64_t mode) const {
-    return model_.factors[static_cast<std::size_t>(mode)].rows();
+    return factor_views_[static_cast<std::size_t>(mode)].rows();
   }
   /// Nonzero core entries |G| the snapshot serves with.
   std::int64_t core_nnz() const { return core_list_.size(); }
+
+  /// The IVF section for `mode`, or nullptr when the snapshot carries
+  /// none (owning snapshots and v2 files written without centroids).
+  const IvfModeView* ivf(std::int64_t mode) const {
+    return file_ != nullptr ? file_->ivf(mode) : nullptr;
+  }
+
+  /// True when the factors are served straight out of a live mmap.
+  bool mapped() const { return file_ != nullptr && file_->mapped(); }
 
   ModelSnapshot(const ModelSnapshot&) = delete;             ///< pinned
   ModelSnapshot& operator=(const ModelSnapshot&) = delete;  ///< pinned
 
  private:
-  explicit ModelSnapshot(TuckerFactorization model);
+  ModelSnapshot() = default;
 
-  TuckerFactorization model_;
+  TuckerFactorization model_;        // owning backing (Create), else empty
+  std::unique_ptr<MmapSnapshot> file_;  // file backing (CreateFromFile)
+  std::vector<FactorView> factor_views_;
   CoreEntryList core_list_;
   std::unique_ptr<DeltaEngine> engine_;
 };
@@ -109,18 +134,28 @@ class PredictionService {
   /// `queries` (values ignored), in entry order.
   std::vector<double> PredictBatch(const SparseTensor& queries) const;
 
-  /// Top-`k` completions along `mode`: scans every candidate coordinate
-  /// i ∈ [0, dim(mode)) with `index`'s mode-`mode` slot replaced by i
-  /// (the slot's incoming value is ignored), scores each through the
-  /// tile kernels, and returns the k best ordered by (score desc, index
-  /// asc). `exclude`, when given, must hold dim(mode) flags; flagged
-  /// candidates are skipped (e.g. movies the user already rated). Fewer
-  /// than k candidates returns them all.
+  /// Top-`k` completions along `mode`: scores candidate coordinates
+  /// with `index`'s mode-`mode` slot replaced (the slot's incoming
+  /// value is ignored) through the tile kernels and returns the k best
+  /// ordered by (score desc, index asc). `exclude`, when given, must
+  /// hold dim(mode) flags; flagged candidates are skipped (e.g. movies
+  /// the user already rated). Fewer than k candidates returns them all.
+  ///
+  /// `nprobe` selects the candidate set. Negative (default) scans every
+  /// coordinate in [0, dim(mode)) — the exact path, bit-identical at
+  /// any thread count. Non-negative probes the snapshot's IVF index for
+  /// `mode`: clusters are ranked by centroid · δ(mode, index) and only
+  /// the members of the best `nprobe` lists are scored (0 = auto,
+  /// max(1, ⌈clusters/10⌉); values above the cluster count scan all
+  /// lists and return exactly the exhaustive result). Throws
+  /// std::invalid_argument when `nprobe` >= 0 but the snapshot carries
+  /// no IVF section for `mode` (write one with ptucker_cli
+  /// convert-model or SaveSnapshotV2(..., with_centroids=true)).
   std::vector<ScoredIndex> TopK(std::int64_t mode,
                                 const std::vector<std::int64_t>& index,
                                 std::int64_t k,
-                                const std::vector<char>* exclude =
-                                    nullptr) const;
+                                const std::vector<char>* exclude = nullptr,
+                                std::int64_t nprobe = -1) const;
 
  private:
   // The batch kernel both public PredictBatch overloads share; `snap` is

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "serve/snapshot_v2.h"
 #include "tensor/dense_tensor.h"
 
 namespace ptucker {
@@ -35,31 +36,17 @@ constexpr std::int64_t kMaxSnapshotOrder = 64;
 // header from requesting an absurd zero-filled allocation.
 constexpr std::int64_t kMaxCoreElements = std::int64_t{1} << 31;
 
-// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over the snapshot body — the
-// corruption check that turns a flipped bit into a clean load error
-// instead of a silently wrong model.
-std::uint32_t Crc32(const char* data, std::size_t size) {
-  static const auto table = [] {
-    std::vector<std::uint32_t> t(256);
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
-          (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+// Name of the in-memory source shown when no file path is known.
+constexpr char kMemorySource[] = "<memory>";
 
-[[noreturn]] void ThrowFormat(const std::string& detail) {
-  throw std::runtime_error("snapshot parse error: " + detail);
+// Every rejection names its source (the file path, when known) and the
+// section being parsed, so a serve_smoke failure in CI pinpoints the
+// broken checkpoint without a reproduction.
+[[noreturn]] void ThrowFormat(const std::string& source,
+                              const std::string& section,
+                              const std::string& detail) {
+  throw std::runtime_error("snapshot parse error: " + detail + " (file " +
+                           source + ", section " + section + ")");
 }
 
 void AppendRaw(std::string* out, const void* data, std::size_t bytes) {
@@ -70,13 +57,19 @@ void AppendI64(std::string* out, std::int64_t value) {
   AppendRaw(out, &value, sizeof(value));
 }
 
-// Bounds-checked sequential reader over the body bytes.
+// Bounds-checked sequential reader over the body bytes; truncation
+// errors name the section the cursor is in.
 class Reader {
  public:
-  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  Reader(const char* data, std::size_t size, const std::string& source)
+      : data_(data), size_(size), source_(&source) {}
+
+  void SetSection(const char* section) { section_ = section; }
 
   void Read(void* out, std::size_t bytes) {
-    if (bytes > size_ - pos_) ThrowFormat("body truncated");
+    if (bytes > size_ - pos_) {
+      ThrowFormat(*source_, section_, "body truncated");
+    }
     std::memcpy(out, data_ + pos_, bytes);
     pos_ += bytes;
   }
@@ -92,6 +85,8 @@ class Reader {
  private:
   const char* data_;
   std::size_t size_;
+  const std::string* source_;
+  const char* section_ = "header";
   std::size_t pos_ = 0;
 };
 
@@ -151,7 +146,7 @@ std::string SerializeSnapshot(const TuckerFactorization& model) {
   out.append(kMagic, sizeof(kMagic));
   const std::uint32_t version = kSnapshotVersion;
   AppendRaw(&out, &version, sizeof(version));
-  const std::uint32_t crc = Crc32(body.data(), body.size());
+  const std::uint32_t crc = SnapshotCrc32(body.data(), body.size());
   AppendRaw(&out, &crc, sizeof(crc));
   const std::uint64_t body_bytes = body.size();
   AppendRaw(&out, &body_bytes, sizeof(body_bytes));
@@ -160,54 +155,72 @@ std::string SerializeSnapshot(const TuckerFactorization& model) {
 }
 
 TuckerFactorization ParseSnapshot(const std::string& bytes) {
-  if (bytes.size() < kHeaderBytes) ThrowFormat("file shorter than the header");
+  return ParseSnapshot(bytes, kMemorySource);
+}
+
+TuckerFactorization ParseSnapshot(const std::string& bytes,
+                                  const std::string& source) {
+  if (bytes.size() < kHeaderBytes) {
+    ThrowFormat(source, "header", "file shorter than the header");
+  }
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    ThrowFormat("bad magic (not a PTKS snapshot)");
+    ThrowFormat(source, "header", "bad magic (not a PTKS snapshot)");
   }
   std::uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 4, sizeof(version));
   if (version != kSnapshotVersion) {
-    ThrowFormat("unsupported snapshot version " + std::to_string(version) +
-                " (this library reads version " +
-                std::to_string(kSnapshotVersion) + ")");
+    ThrowFormat(source, "header",
+                "unsupported snapshot version " + std::to_string(version) +
+                    " (this parser reads version " +
+                    std::to_string(kSnapshotVersion) + ")");
   }
   std::uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, bytes.data() + 8, sizeof(stored_crc));
   std::uint64_t body_bytes = 0;
   std::memcpy(&body_bytes, bytes.data() + 12, sizeof(body_bytes));
   if (body_bytes != bytes.size() - kHeaderBytes) {
-    ThrowFormat(body_bytes > bytes.size() - kHeaderBytes
+    ThrowFormat(source, "header",
+                body_bytes > bytes.size() - kHeaderBytes
                     ? "body truncated"
                     : "trailing bytes after the body");
   }
   const char* body = bytes.data() + kHeaderBytes;
   const std::uint32_t computed_crc =
-      Crc32(body, static_cast<std::size_t>(body_bytes));
+      SnapshotCrc32(body, static_cast<std::size_t>(body_bytes));
   if (computed_crc != stored_crc) {
-    ThrowFormat("CRC mismatch (file is corrupt)");
+    ThrowFormat(source, "body", "CRC mismatch (file is corrupt)");
   }
 
-  Reader reader(body, static_cast<std::size_t>(body_bytes));
+  Reader reader(body, static_cast<std::size_t>(body_bytes), source);
+  reader.SetSection("dims");
   const std::int64_t order = reader.ReadI64();
   if (order < 1 || order > kMaxSnapshotOrder) {
-    ThrowFormat("order " + std::to_string(order) + " out of range");
+    ThrowFormat(source, "dims",
+                "order " + std::to_string(order) + " out of range");
   }
   std::vector<std::int64_t> dims(static_cast<std::size_t>(order));
   for (auto& d : dims) {
     d = reader.ReadI64();
-    if (d < 1) ThrowFormat("non-positive mode dimensionality");
+    if (d < 1) {
+      ThrowFormat(source, "dims", "non-positive mode dimensionality");
+    }
   }
+  reader.SetSection("ranks");
   std::vector<std::int64_t> ranks(static_cast<std::size_t>(order));
   std::int64_t core_size = 1;
   for (auto& r : ranks) {
     r = reader.ReadI64();
-    if (r < 1) ThrowFormat("non-positive core rank");
-    if (core_size > kMaxCoreElements / r) ThrowFormat("core too large");
+    if (r < 1) ThrowFormat(source, "ranks", "non-positive core rank");
+    if (core_size > kMaxCoreElements / r) {
+      ThrowFormat(source, "ranks", "core too large");
+    }
     core_size *= r;
   }
+  reader.SetSection("core header");
   const std::int64_t core_nnz = reader.ReadI64();
   if (core_nnz < 0 || core_nnz > core_size) {
-    ThrowFormat("core nnz " + std::to_string(core_nnz) + " out of range");
+    ThrowFormat(source, "core header",
+                "core nnz " + std::to_string(core_nnz) + " out of range");
   }
   // Every remaining allocation is sized by untrusted header fields; cap
   // each one by the bytes actually left in the body *before* allocating,
@@ -219,7 +232,7 @@ TuckerFactorization ParseSnapshot(const std::string& bytes) {
       reader.remaining() / (static_cast<std::uint64_t>(order) *
                                 sizeof(std::int32_t) +
                             sizeof(double))) {
-    ThrowFormat("body truncated");
+    ThrowFormat(source, "core header", "body truncated");
   }
 
   TuckerFactorization model;
@@ -227,10 +240,12 @@ TuckerFactorization ParseSnapshot(const std::string& bytes) {
   for (std::int64_t n = 0; n < order; ++n) {
     const std::int64_t rows = dims[static_cast<std::size_t>(n)];
     const std::int64_t cols = ranks[static_cast<std::size_t>(n)];
+    const std::string section = "factor " + std::to_string(n);
+    reader.SetSection(section.c_str());
     if (static_cast<std::uint64_t>(rows) >
         reader.remaining() /
             (static_cast<std::uint64_t>(cols) * sizeof(double))) {
-      ThrowFormat("body truncated");
+      ThrowFormat(source, section, "body truncated");
     }
     Matrix factor(rows, cols);
     reader.Read(factor.data(),
@@ -238,6 +253,7 @@ TuckerFactorization ParseSnapshot(const std::string& bytes) {
     model.factors.push_back(std::move(factor));
   }
   model.core = DenseTensor(ranks);
+  reader.SetSection("core indices");
   std::vector<std::int64_t> index(static_cast<std::size_t>(order));
   std::vector<std::int64_t> linear_positions(
       static_cast<std::size_t>(core_nnz));
@@ -246,19 +262,23 @@ TuckerFactorization ParseSnapshot(const std::string& bytes) {
       std::int32_t coord = 0;
       reader.Read(&coord, sizeof(coord));
       if (coord < 0 || coord >= ranks[static_cast<std::size_t>(k)]) {
-        ThrowFormat("core index out of bounds in entry " + std::to_string(e));
+        ThrowFormat(source, "core indices",
+                    "core index out of bounds in entry " + std::to_string(e));
       }
       index[static_cast<std::size_t>(k)] = coord;
     }
     linear_positions[static_cast<std::size_t>(e)] =
         Linearize(index.data(), model.core.strides(), order);
   }
+  reader.SetSection("core values");
   for (std::int64_t e = 0; e < core_nnz; ++e) {
     double value = 0.0;
     reader.Read(&value, sizeof(value));
     model.core[linear_positions[static_cast<std::size_t>(e)]] = value;
   }
-  if (reader.remaining() != 0) ThrowFormat("trailing bytes inside the body");
+  if (reader.remaining() != 0) {
+    ThrowFormat(source, "core values", "trailing bytes inside the body");
+  }
   return model;
 }
 
@@ -278,7 +298,39 @@ TuckerFactorization LoadSnapshot(const std::string& path) {
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
   if (in.bad()) throw std::runtime_error("snapshot: read failed: " + path);
-  return ParseSnapshot(bytes);
+  // Version dispatch: v2 files are opened through the zero-copy loader
+  // and materialized into an owning model (the warm-start bridge).
+  if (bytes.size() >= 8 && std::memcmp(bytes.data(), kMagic, 4) == 0) {
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + 4, sizeof(version));
+    if (version == kSnapshotVersion2) {
+      return MaterializeModel(*MmapSnapshot::Open(path));
+    }
+  }
+  return ParseSnapshot(bytes, path);
+}
+
+std::uint32_t SnapshotCrc32(const char* data, std::size_t size) {
+  // CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the corruption check
+  // that turns a flipped bit into a clean load error instead of a
+  // silently wrong model.
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 }  // namespace ptucker

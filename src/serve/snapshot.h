@@ -27,20 +27,32 @@ inline constexpr std::uint32_t kSnapshotVersion = 1;
 /// VeST-compact: only nonzero entries are written.
 std::string SerializeSnapshot(const TuckerFactorization& model);
 
-/// Parses a snapshot produced by SerializeSnapshot. Throws
+/// Parses a v1 snapshot produced by SerializeSnapshot. Throws
 /// std::runtime_error on a bad magic, an unsupported version, a CRC
 /// mismatch (bit corruption), truncation, trailing bytes, or
-/// out-of-bounds dims/indices. The returned model is bit-identical to
-/// the one serialized.
+/// out-of-bounds dims/indices — every message names the source
+/// (`"<memory>"` here) and the offending section. The returned model is
+/// bit-identical to the one serialized.
 TuckerFactorization ParseSnapshot(const std::string& bytes);
+
+/// \overload naming `source` (normally the file path) in every rejection
+/// so serve failures are debuggable from logs.
+TuckerFactorization ParseSnapshot(const std::string& bytes,
+                                  const std::string& source);
 
 /// Writes `model` to `path` in the snapshot format. Throws
 /// std::runtime_error when the file cannot be written.
 void SaveSnapshot(const std::string& path, const TuckerFactorization& model);
 
-/// Reads a snapshot from `path` (see ParseSnapshot for the failure
-/// modes; unopenable files also throw std::runtime_error).
+/// Reads a snapshot from `path`, dispatching on the format version: v1
+/// parses directly, v2 (serve/snapshot_v2.h) is opened and materialized
+/// into an owning model. See ParseSnapshot for the failure modes;
+/// unopenable files also throw std::runtime_error.
 TuckerFactorization LoadSnapshot(const std::string& path);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the checksum both
+/// snapshot formats store, exposed for the v2 writer and tests.
+std::uint32_t SnapshotCrc32(const char* data, std::size_t size);
 
 }  // namespace ptucker
 

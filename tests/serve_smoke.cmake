@@ -72,7 +72,41 @@ if(NOT topk_out MATCHES "  3\\. index [0-9]+  predicted [-0-9.]+")
   message(FATAL_ERROR "missing third topk result in:\n${topk_out}")
 endif()
 
-# 5. Unknown subcommands and flags must fail with a clear error.
+# 5. Exact-scan nprobe spelling and the v2 conversion round trip.
+run(topk_all_out 0 topk --load-model ${model_path} --mode 2 --index 3,1,5
+    --k 3 --topk-nprobe all)
+if(NOT topk_all_out MATCHES "top-3 along mode 2")
+  message(FATAL_ERROR "missing nprobe=all topk header in:\n${topk_all_out}")
+endif()
+set(converted_path ${WORK_DIR}/serve_smoke_model_v2.ptks)
+run(convert_out 0 convert-model --load-model ${model_path}
+    --save-model ${converted_path})
+if(NOT convert_out MATCHES "model snapshot written to")
+  message(FATAL_ERROR "missing convert confirmation in:\n${convert_out}")
+endif()
+run(converted_topk_out 0 topk --load-model ${converted_path} --mode 2
+    --index 3,1,5 --k 3)
+if(NOT converted_topk_out MATCHES "top-3 along mode 2")
+  message(FATAL_ERROR "converted snapshot unservable:\n${converted_topk_out}")
+endif()
+
+# 6. Knob validation: out-of-range engine knobs die at the flag parser
+# with exit code 2, not deep inside the library.
+run(bad_tile_out 2 --selftest --tile-width 0)
+if(NOT bad_tile_out MATCHES "--tile-width must be in")
+  message(FATAL_ERROR "missing tile-width validation in:\n${bad_tile_out}")
+endif()
+run(bad_eps_out 2 --selftest --adaptive-eps 1.5)
+if(NOT bad_eps_out MATCHES "--adaptive-eps must be in")
+  message(FATAL_ERROR "missing adaptive-eps validation in:\n${bad_eps_out}")
+endif()
+run(bad_nprobe_out 2 topk --load-model ${model_path} --mode 2 --index 3,1,5
+    --topk-nprobe maybe)
+if(NOT bad_nprobe_out MATCHES "bad --topk-nprobe value")
+  message(FATAL_ERROR "missing nprobe validation in:\n${bad_nprobe_out}")
+endif()
+
+# 7. Unknown subcommands and flags must fail with a clear error.
 run(bad_sub_out 2 serve --load-model ${model_path})
 if(NOT bad_sub_out MATCHES "unknown subcommand 'serve'")
   message(FATAL_ERROR "missing unknown-subcommand error in:\n${bad_sub_out}")
@@ -86,5 +120,5 @@ if(NOT positional_out MATCHES "unexpected positional argument")
   message(FATAL_ERROR "missing positional-argument error in:\n${positional_out}")
 endif()
 
-file(REMOVE ${model_path} ${queries_path})
+file(REMOVE ${model_path} ${queries_path} ${converted_path})
 message(STATUS "serve_smoke passed")

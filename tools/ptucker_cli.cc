@@ -1,9 +1,10 @@
 // ptucker_cli — command-line driver for the library.
 //
 // Subcommands (first argument; `decompose` is assumed when omitted):
-//   decompose   factorize --input and optionally checkpoint the model
-//   predict     batch x-hat predictions from a saved model snapshot
-//   topk        top-K completions along one mode from a saved snapshot
+//   decompose      factorize --input and optionally checkpoint the model
+//   predict        batch x-hat predictions from a saved model snapshot
+//   topk           top-K completions along one mode from a saved snapshot
+//   convert-model  rewrite a snapshot as format v2 with IVF centroids
 //
 // Typical usage:
 //   ptucker_cli --input ratings.tns --ranks 10,10,5 --output-dir model/
@@ -26,10 +27,10 @@
 //                         are printed by --help — parser and help share
 //                         that one table so they cannot drift
 //   --adaptive-eps X      error budget of --delta-engine adaptive, [0, 1)
-//   --tile-width B        batch tile of --delta-engine tiled (>= 1, clamped
-//                         to 64; sizes its delta/reconstruct/products
-//                         kernels; the SIMD kernels engage at B >= 32,
-//                         shorter tiles run the scalar fallback)
+//   --tile-width B        batch tile of --delta-engine tiled, in [1, 64]
+//                         (rejected otherwise; sizes its delta/reconstruct/
+//                         products kernels; the SIMD kernels engage at
+//                         B >= 32, shorter tiles run the scalar fallback)
 //   --lambda X            L2 regularization (default 0.01)
 //   --max-iters N         maximum ALS iterations (default 20)
 //   --tolerance X         relative-error convergence (default 1e-4)
@@ -51,6 +52,10 @@
 //   --index i1,i2,...     topk: 1-based query coordinates (the --mode
 //                         slot is a placeholder and is ignored)
 //   --k K                 topk: number of results (default 10)
+//   --topk-nprobe N|all   topk: IVF clusters to probe ('all' = exact scan,
+//                         the default; 0 = auto ≈ a tenth of the lists;
+//                         N >= 0 requires a snapshot written with
+//                         centroids — see convert-model)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +76,7 @@
 #include "linalg/matrix_io.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_v2.h"
 #include "tensor/io.h"
 #include "util/format.h"
 #include "util/random.h"
@@ -91,6 +97,8 @@ constexpr SubcommandDescriptor kSubcommands[] = {
     {"decompose", "factorize --input (the default when no subcommand given)"},
     {"predict", "batch x-hat predictions from --load-model at --queries"},
     {"topk", "top-K completions along --mode from --load-model at --index"},
+    {"convert-model",
+     "rewrite --load-model as a v2 snapshot (+IVF centroids) at --save-model"},
 };
 
 std::string SubcommandNames() {
@@ -130,6 +138,7 @@ struct CliConfig {
   std::int64_t topk_mode = 0;  // 1-based, as in .tns files
   std::vector<std::int64_t> topk_index;
   std::int64_t topk_k = 10;
+  std::int64_t topk_nprobe = -1;  // -1 = 'all' (exact scan)
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -144,7 +153,9 @@ void PrintUsageAndExit() {
       "[options]\n"
       "       ptucker_cli predict --load-model M.ptks --queries Q.tns\n"
       "       ptucker_cli topk --load-model M.ptks --mode M --index "
-      "i1,i2,... [--k K]\n"
+      "i1,i2,... [--k K] [--topk-nprobe N|all]\n"
+      "       ptucker_cli convert-model --load-model M.ptks --save-model "
+      "M2.ptks\n"
       "       ptucker_cli --selftest\n\n");
   // Subcommand list generated from the same table the dispatcher uses.
   std::printf("subcommands (first argument; default decompose):\n");
@@ -168,10 +179,10 @@ void PrintUsageAndExit() {
       "options:  --lambda --max-iters --tolerance --truncation-rate\n"
       "          --sample-rate --adaptive-eps --tile-width --threads\n"
       "          --seed --test-fraction --output-dir --update-core --quiet\n"
-      "model:    --save-model PATH (checkpoint after decompose)\n"
+      "model:    --save-model PATH (checkpoint after decompose, format v2)\n"
       "          --load-model PATH (decompose: warm start; predict/topk:\n"
       "          the served model) --queries PATH --mode M --index i1,...\n"
-      "          --k K\n"
+      "          --k K --topk-nprobe N|all\n"
       "flags accept both '--flag value' and '--flag=value'\n");
   std::exit(0);
 }
@@ -284,8 +295,34 @@ CliConfig ParseArgs(int argc, char** argv) {
     else if (arg == "--index")
       config.topk_index = ParseIntList(need_value(i), "--index");
     else if (arg == "--k") config.topk_k = std::stoll(need_value(i));
+    else if (arg == "--topk-nprobe") {
+      const std::string value = need_value(i);
+      if (value == "all") {
+        config.topk_nprobe = -1;
+      } else {
+        char* end = nullptr;
+        const long long parsed = std::strtoll(value.c_str(), &end, 10);
+        if (value.empty() || *end != '\0' || parsed < 0) {
+          Fail("bad --topk-nprobe value '" + value +
+               "' (a non-negative integer or 'all' expected)");
+        }
+        config.topk_nprobe = parsed;
+      }
+    }
     else Fail("unknown flag: " + arg);
     if (has_inline_value) Fail("flag does not take a value: " + arg);
+  }
+  // Engine-knob validation happens here, at the boundary, so a typo'd
+  // flag dies with exit code 2 and a usable message instead of an
+  // exception (or a silent clamp) deep inside the library.
+  if (config.tile_width < 1 || config.tile_width > TiledDeltaEngine::kMaxTile) {
+    Fail("--tile-width must be in [1, " +
+         std::to_string(TiledDeltaEngine::kMaxTile) + "], got " +
+         std::to_string(config.tile_width));
+  }
+  if (!(config.adaptive_eps >= 0.0) || config.adaptive_eps >= 1.0) {
+    Fail("--adaptive-eps must be in [0, 1), got " +
+         std::to_string(config.adaptive_eps));
   }
   return config;
 }
@@ -317,9 +354,10 @@ PredictionService MakeService(const CliConfig& config) {
   if (config.load_model.empty()) {
     Fail(config.subcommand + " requires --load-model PATH");
   }
-  TuckerFactorization model = LoadSnapshot(config.load_model);
+  // v2 snapshots are mmap-ed and served zero-copy; v1 files fall back to
+  // an in-memory conversion behind the same interface.
   std::shared_ptr<const ModelSnapshot> snapshot =
-      ModelSnapshot::Create(std::move(model), config.tile_width);
+      ModelSnapshot::CreateFromFile(config.load_model, config.tile_width);
   std::printf("model: %lld modes, dims ",
               static_cast<long long>(snapshot->order()));
   for (std::int64_t n = 0; n < snapshot->order(); ++n) {
@@ -379,8 +417,8 @@ int RunTopk(const CliConfig& config) {
                         ? 0
                         : config.topk_index[n] - 1);
   }
-  const std::vector<ScoredIndex> top =
-      service.TopK(mode, index, config.topk_k);
+  const std::vector<ScoredIndex> top = service.TopK(
+      mode, index, config.topk_k, /*exclude=*/nullptr, config.topk_nprobe);
   std::printf("top-%lld along mode %lld:\n",
               static_cast<long long>(config.topk_k),
               static_cast<long long>(config.topk_mode));
@@ -388,6 +426,22 @@ int RunTopk(const CliConfig& config) {
     std::printf("%3zu. index %lld  predicted %.6f\n", r + 1,
                 static_cast<long long>(top[r].index + 1), top[r].score);
   }
+  return 0;
+}
+
+// convert-model: parse any supported snapshot and rewrite it as v2 with
+// IVF centroids embedded, so topk --topk-nprobe can probe it.
+int RunConvertModel(const CliConfig& config) {
+  if (config.load_model.empty()) {
+    Fail("convert-model requires --load-model PATH");
+  }
+  if (config.save_model.empty()) {
+    Fail("convert-model requires --save-model PATH");
+  }
+  const TuckerFactorization model = LoadSnapshot(config.load_model);
+  SaveSnapshotV2(config.save_model, model, /*with_centroids=*/true);
+  std::printf("model snapshot written to %s (format v2, IVF centroids)\n",
+              config.save_model.c_str());
   return 0;
 }
 
@@ -530,7 +584,10 @@ int Run(const CliConfig& config) {
   }
   if (!config.output_dir.empty()) WriteModel(model, config.output_dir);
   if (!config.save_model.empty()) {
-    SaveSnapshot(config.save_model, model);
+    // Checkpoints are written in the mmap-able v2 format with IVF
+    // centroids, so the serving subcommands can load them zero-copy and
+    // answer --topk-nprobe probes without a conversion step.
+    SaveSnapshotV2(config.save_model, model, /*with_centroids=*/true);
     std::printf("model snapshot written to %s\n", config.save_model.c_str());
   }
   if (config.selftest) {
@@ -551,6 +608,7 @@ int main(int argc, char** argv) {
     const CliConfig config = ParseArgs(argc, argv);
     if (config.subcommand == "predict") return RunPredict(config);
     if (config.subcommand == "topk") return RunTopk(config);
+    if (config.subcommand == "convert-model") return RunConvertModel(config);
     return Run(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ptucker_cli: error: %s\n", e.what());
