@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/percentiles.h"
 #include "core/ptucker.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -247,6 +248,23 @@ int RunDefaultBench() {
   const double single_qps =
       static_cast<double>(num_queries) / single_seconds;
 
+  // Per-request latency distribution for the single-entry path, from a
+  // separate instrumented pass so the per-query clock reads cannot
+  // perturb the QPS numbers the gate compares. Percentile definitions:
+  // bench/percentiles.h (shared with bench_serving_net).
+  bench::LatencyRecorder single_latency;
+  single_latency.Reserve(static_cast<std::size_t>(num_queries));
+  for (std::int64_t q = 0; q < num_queries; ++q) {
+    query.assign(queries[static_cast<std::size_t>(q)],
+                 queries[static_cast<std::size_t>(q)] + order);
+    Stopwatch clock;
+    out[static_cast<std::size_t>(q)] = single_service.Predict(query);
+    single_latency.Record(clock.ElapsedSeconds());
+  }
+  std::printf("single Predict() per-request latency: p50 %s us   p99 %s us\n",
+              FormatDouble(single_latency.P50() * 1e6, 2).c_str(),
+              FormatDouble(single_latency.P99() * 1e6, 2).c_str());
+
   TablePrinter table({"path", "tile", "seconds", "QPS", "vs single"});
   table.AddRow({"single Predict()", "1", FormatDouble(single_seconds, 4),
                 FormatDouble(single_qps, 0), "1.00x"});
@@ -283,16 +301,19 @@ int RunDefaultBench() {
   std::printf("\ntop-K recommendation latency (scan mode 1, %lld "
               "candidates):\n",
               static_cast<long long>(dims[1]));
-  TablePrinter topk_table({"tile", "k", "latency ms"});
+  TablePrinter topk_table({"tile", "k", "min ms", "p50 ms", "p99 ms"});
   for (const std::int64_t tile : {std::int64_t{1}, std::int64_t{32}}) {
     PredictionService service(ModelSnapshot::Create(model, tile));
     for (const std::int64_t k : {std::int64_t{10}, std::int64_t{100}}) {
       const std::vector<std::int64_t> at = {42, 0, 21};
       double seconds = 1e30;
-      for (int repeat = 0; repeat < 3; ++repeat) {
+      bench::LatencyRecorder latency;
+      for (int repeat = 0; repeat < 50; ++repeat) {
         Stopwatch clock;
         const auto top = service.TopK(1, at, k);
-        seconds = std::min(seconds, clock.ElapsedSeconds());
+        const double elapsed = clock.ElapsedSeconds();
+        seconds = std::min(seconds, elapsed);
+        latency.Record(elapsed);
         if (static_cast<std::int64_t>(top.size()) != k) {
           std::fprintf(stderr, "topk returned %zu results, want %lld\n",
                        top.size(), static_cast<long long>(k));
@@ -300,7 +321,9 @@ int RunDefaultBench() {
         }
       }
       topk_table.AddRow({std::to_string(tile), std::to_string(k),
-                         FormatDouble(seconds * 1e3, 3)});
+                         FormatDouble(seconds * 1e3, 3),
+                         FormatDouble(latency.P50() * 1e3, 3),
+                         FormatDouble(latency.P99() * 1e3, 3)});
     }
   }
   topk_table.Print();

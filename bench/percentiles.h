@@ -1,0 +1,62 @@
+// Shared latency-percentile helper for the serving benchmarks
+// (bench_serving.cc and bench_serving_net.cc report p50/p99/p999 from
+// the same code so the columns mean the same thing in both tables; the
+// definitions are documented in docs/benchmarks.md). Nearest-rank
+// percentiles over the raw samples — no interpolation, no binning — so
+// a reported p99 is an actually-observed latency.
+#ifndef PTUCKER_BENCH_PERCENTILES_H_
+#define PTUCKER_BENCH_PERCENTILES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ptucker {
+namespace bench {
+
+// Nearest-rank percentile: the smallest sample x such that at least
+// p% of the samples are <= x (ceil(p/100 * N)-th order statistic).
+// `p` in (0, 100]. Returns 0.0 on an empty sample set.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  const std::size_t at = (rank == 0 ? 0 : rank - 1);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(at),
+                   samples.end());
+  return samples[at];
+}
+
+// Accumulates per-request latencies (seconds) and reports the summary
+// the benchmark tables print. Merge per-thread recorders with Merge()
+// before reading percentiles.
+class LatencyRecorder {
+ public:
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+  void Record(double seconds) { samples_.push_back(seconds); }
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+  double P50() const { return Percentile(samples_, 50.0); }
+  double P99() const { return Percentile(samples_, 99.0); }
+  double P999() const { return Percentile(samples_, 99.9); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace bench
+}  // namespace ptucker
+
+#endif  // PTUCKER_BENCH_PERCENTILES_H_

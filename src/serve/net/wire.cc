@@ -1,0 +1,328 @@
+#include "serve/net/wire.h"
+
+#include <cstring>
+
+namespace ptucker {
+
+namespace {
+
+// Valid wire opcodes; anything else in the opcode byte is a framing
+// error (the stream may be garbage, so the connection is torn down).
+bool KnownOpcode(std::uint8_t value) {
+  return value >= static_cast<std::uint8_t>(Opcode::kPredict) &&
+         value <= static_cast<std::uint8_t>(Opcode::kStats);
+}
+
+}  // namespace
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t value) {
+  out->push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out->push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+  out->push_back(static_cast<std::uint8_t>((value >> 16) & 0xFF));
+  out->push_back(static_cast<std::uint8_t>((value >> 24) & 0xFF));
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void AppendI64(std::vector<std::uint8_t>* out, std::int64_t value) {
+  AppendU64(out, static_cast<std::uint64_t>(value));
+}
+
+void AppendF64(std::vector<std::uint8_t>* out, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 f64 expected");
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t value = 0;
+  for (int b = 7; b >= 0; --b) {
+    value = (value << 8) | static_cast<std::uint64_t>(p[b]);
+  }
+  return value;
+}
+
+std::int64_t ReadI64(const std::uint8_t* p) {
+  return static_cast<std::int64_t>(ReadU64(p));
+}
+
+double ReadF64(const std::uint8_t* p) {
+  const std::uint64_t bits = ReadU64(p);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t size,
+                         WireFrame* frame, std::size_t* consumed,
+                         std::string* error) {
+  // Magic is checked byte-by-byte as bytes arrive, so a garbage stream
+  // dies on its first wrong byte instead of buffering a header's worth.
+  for (std::size_t b = 0; b < size && b < 4; ++b) {
+    if (data[b] != kWireMagic[b]) {
+      *error = "bad magic byte at offset " + std::to_string(b) + " (0x" +
+               std::to_string(static_cast<unsigned>(data[b])) +
+               "); not a PTKN stream";
+      return DecodeResult::kError;
+    }
+  }
+  if (size < kWireHeaderSize) return DecodeResult::kNeedMore;
+  if (data[6] != 0 || data[7] != 0) {
+    *error = "reserved header bytes 6-7 must be zero";
+    return DecodeResult::kError;
+  }
+  if (!KnownOpcode(data[4])) {
+    *error = "unknown opcode " + std::to_string(static_cast<unsigned>(data[4]));
+    return DecodeResult::kError;
+  }
+  const std::uint32_t payload_size = ReadU32(data + 16);
+  if (payload_size > kMaxWirePayload) {
+    *error = "payload length " + std::to_string(payload_size) +
+             " exceeds the " + std::to_string(kMaxWirePayload) + "-byte cap";
+    return DecodeResult::kError;
+  }
+  if (size < kWireHeaderSize + payload_size) return DecodeResult::kNeedMore;
+  frame->opcode = static_cast<Opcode>(data[4]);
+  frame->status = static_cast<WireStatus>(data[5]);
+  frame->request_id = ReadU64(data + 8);
+  frame->payload.assign(data + kWireHeaderSize,
+                        data + kWireHeaderSize + payload_size);
+  *consumed = kWireHeaderSize + payload_size;
+  return DecodeResult::kFrame;
+}
+
+void EncodeFrame(Opcode opcode, WireStatus status, std::uint64_t request_id,
+                 const std::uint8_t* payload, std::size_t payload_size,
+                 std::vector<std::uint8_t>* out) {
+  out->reserve(out->size() + kWireHeaderSize + payload_size);
+  out->insert(out->end(), kWireMagic, kWireMagic + 4);
+  out->push_back(static_cast<std::uint8_t>(opcode));
+  out->push_back(static_cast<std::uint8_t>(status));
+  out->push_back(0);
+  out->push_back(0);
+  AppendU64(out, request_id);
+  AppendU32(out, static_cast<std::uint32_t>(payload_size));
+  out->insert(out->end(), payload, payload + payload_size);
+}
+
+std::vector<std::uint8_t> EncodePredictRequest(
+    std::uint64_t request_id, const std::vector<std::int64_t>& coords) {
+  std::vector<std::uint8_t> payload;
+  AppendU32(&payload, static_cast<std::uint32_t>(coords.size()));
+  for (const std::int64_t c : coords) AppendI64(&payload, c);
+  std::vector<std::uint8_t> out;
+  EncodeFrame(Opcode::kPredict, WireStatus::kOk, request_id, payload.data(),
+              payload.size(), &out);
+  return out;
+}
+
+bool ParsePredictRequest(const std::vector<std::uint8_t>& payload,
+                         PredictRequest* out, std::string* error) {
+  if (payload.size() < 4) {
+    *error = "predict payload too short for the order field";
+    return false;
+  }
+  const std::uint32_t order = ReadU32(payload.data());
+  if (order < 1 || order > kMaxWireOrder) {
+    *error = "predict order " + std::to_string(order) + " outside [1, " +
+             std::to_string(kMaxWireOrder) + "]";
+    return false;
+  }
+  if (payload.size() != 4 + static_cast<std::size_t>(order) * 8) {
+    *error = "predict payload is " + std::to_string(payload.size()) +
+             " bytes, want " + std::to_string(4 + order * 8) + " for order " +
+             std::to_string(order);
+    return false;
+  }
+  out->coords.resize(order);
+  for (std::uint32_t n = 0; n < order; ++n) {
+    out->coords[n] = ReadI64(payload.data() + 4 + n * 8);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeTopKRequest(
+    std::uint64_t request_id, std::int64_t mode, std::int64_t k,
+    const std::vector<std::int64_t>& coords) {
+  std::vector<std::uint8_t> payload;
+  AppendU32(&payload, static_cast<std::uint32_t>(coords.size()));
+  AppendU32(&payload, static_cast<std::uint32_t>(mode));
+  AppendU32(&payload, static_cast<std::uint32_t>(k));
+  for (const std::int64_t c : coords) AppendI64(&payload, c);
+  std::vector<std::uint8_t> out;
+  EncodeFrame(Opcode::kTopK, WireStatus::kOk, request_id, payload.data(),
+              payload.size(), &out);
+  return out;
+}
+
+bool ParseTopKRequest(const std::vector<std::uint8_t>& payload,
+                      TopKRequest* out, std::string* error) {
+  if (payload.size() < 12) {
+    *error = "topk payload too short for the order/mode/k fields";
+    return false;
+  }
+  const std::uint32_t order = ReadU32(payload.data());
+  const std::uint32_t mode = ReadU32(payload.data() + 4);
+  const std::uint32_t k = ReadU32(payload.data() + 8);
+  if (order < 1 || order > kMaxWireOrder) {
+    *error = "topk order " + std::to_string(order) + " outside [1, " +
+             std::to_string(kMaxWireOrder) + "]";
+    return false;
+  }
+  if (mode >= order) {
+    *error = "topk mode " + std::to_string(mode) + " out of range for order " +
+             std::to_string(order);
+    return false;
+  }
+  if (k < 1 || k > kMaxWireTopK) {
+    *error = "topk k " + std::to_string(k) + " outside [1, " +
+             std::to_string(kMaxWireTopK) + "]";
+    return false;
+  }
+  if (payload.size() != 12 + static_cast<std::size_t>(order) * 8) {
+    *error = "topk payload is " + std::to_string(payload.size()) +
+             " bytes, want " + std::to_string(12 + order * 8) + " for order " +
+             std::to_string(order);
+    return false;
+  }
+  out->mode = mode;
+  out->k = k;
+  out->coords.resize(order);
+  for (std::uint32_t n = 0; n < order; ++n) {
+    out->coords[n] = ReadI64(payload.data() + 12 + n * 8);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> EncodePredictReply(std::uint64_t request_id,
+                                             double value) {
+  std::vector<std::uint8_t> payload;
+  AppendF64(&payload, value);
+  std::vector<std::uint8_t> out;
+  EncodeFrame(Opcode::kPredict, WireStatus::kOk, request_id, payload.data(),
+              payload.size(), &out);
+  return out;
+}
+
+bool ParsePredictReply(const WireFrame& frame, double* value,
+                       std::string* error) {
+  if (frame.status != WireStatus::kOk) {
+    *error = "server error " +
+             std::to_string(static_cast<unsigned>(frame.status)) + ": " +
+             std::string(frame.payload.begin(), frame.payload.end());
+    return false;
+  }
+  if (frame.opcode != Opcode::kPredict || frame.payload.size() != 8) {
+    *error = "malformed predict reply";
+    return false;
+  }
+  *value = ReadF64(frame.payload.data());
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeTopKReply(
+    std::uint64_t request_id, const std::vector<ScoredIndex>& results) {
+  std::vector<std::uint8_t> payload;
+  AppendU32(&payload, static_cast<std::uint32_t>(results.size()));
+  for (const ScoredIndex& r : results) {
+    AppendI64(&payload, r.index);
+    AppendF64(&payload, r.score);
+  }
+  std::vector<std::uint8_t> out;
+  EncodeFrame(Opcode::kTopK, WireStatus::kOk, request_id, payload.data(),
+              payload.size(), &out);
+  return out;
+}
+
+bool ParseTopKReply(const WireFrame& frame, std::vector<ScoredIndex>* results,
+                    std::string* error) {
+  if (frame.status != WireStatus::kOk) {
+    *error = "server error " +
+             std::to_string(static_cast<unsigned>(frame.status)) + ": " +
+             std::string(frame.payload.begin(), frame.payload.end());
+    return false;
+  }
+  if (frame.opcode != Opcode::kTopK || frame.payload.size() < 4) {
+    *error = "malformed topk reply";
+    return false;
+  }
+  const std::uint32_t count = ReadU32(frame.payload.data());
+  if (frame.payload.size() != 4 + static_cast<std::size_t>(count) * 16) {
+    *error = "topk reply count disagrees with its payload size";
+    return false;
+  }
+  results->resize(count);
+  for (std::uint32_t r = 0; r < count; ++r) {
+    (*results)[r].index = ReadI64(frame.payload.data() + 4 + r * 16);
+    (*results)[r].score = ReadF64(frame.payload.data() + 4 + r * 16 + 8);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeStatsReply(
+    std::uint64_t request_id, const std::vector<std::uint64_t>& counters) {
+  std::vector<std::uint8_t> payload;
+  AppendU32(&payload, static_cast<std::uint32_t>(counters.size()));
+  for (const std::uint64_t c : counters) AppendU64(&payload, c);
+  std::vector<std::uint8_t> out;
+  EncodeFrame(Opcode::kStats, WireStatus::kOk, request_id, payload.data(),
+              payload.size(), &out);
+  return out;
+}
+
+bool ParseStatsReply(const WireFrame& frame,
+                     std::vector<std::uint64_t>* counters,
+                     std::string* error) {
+  if (frame.status != WireStatus::kOk) {
+    *error = "server error " +
+             std::to_string(static_cast<unsigned>(frame.status)) + ": " +
+             std::string(frame.payload.begin(), frame.payload.end());
+    return false;
+  }
+  if (frame.opcode != Opcode::kStats || frame.payload.size() < 4) {
+    *error = "malformed stats reply";
+    return false;
+  }
+  const std::uint32_t count = ReadU32(frame.payload.data());
+  if (frame.payload.size() != 4 + static_cast<std::size_t>(count) * 8) {
+    *error = "stats reply count disagrees with its payload size";
+    return false;
+  }
+  counters->resize(count);
+  for (std::uint32_t c = 0; c < count; ++c) {
+    (*counters)[c] = ReadU64(frame.payload.data() + 4 + c * 8);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeEmptyFrame(Opcode opcode,
+                                           std::uint64_t request_id) {
+  std::vector<std::uint8_t> out;
+  EncodeFrame(opcode, WireStatus::kOk, request_id, nullptr, 0, &out);
+  return out;
+}
+
+std::vector<std::uint8_t> EncodeErrorReply(Opcode opcode,
+                                           std::uint64_t request_id,
+                                           WireStatus status,
+                                           const std::string& message) {
+  std::vector<std::uint8_t> out;
+  EncodeFrame(opcode, status, request_id,
+              reinterpret_cast<const std::uint8_t*>(message.data()),
+              message.size(), &out);
+  return out;
+}
+
+}  // namespace ptucker

@@ -1,7 +1,10 @@
 # Serving smoke test: drive the full checkpoint-and-serve loop through
 # ptucker_cli — train a tiny model, save a snapshot, warm-start from it,
-# answer predict and topk queries, and check that unknown subcommands
-# fail loudly (not by silently defaulting to decompose).
+# answer predict and topk queries, validate every serve flag at the
+# parser boundary, run a bounded `serve` over TCP, and check that
+# unknown subcommands fail loudly (not by silently defaulting to
+# decompose). The wire-level behavior of the server itself is covered by
+# tests/serve/net/.
 #
 # Invoked by ctest as:
 #   cmake -DPTUCKER_CLI=<path> -DWORK_DIR=<dir> -P serve_smoke.cmake
@@ -106,9 +109,54 @@ if(NOT bad_nprobe_out MATCHES "bad --topk-nprobe value")
   message(FATAL_ERROR "missing nprobe validation in:\n${bad_nprobe_out}")
 endif()
 
-# 7. Unknown subcommands and flags must fail with a clear error.
-run(bad_sub_out 2 serve --load-model ${model_path})
-if(NOT bad_sub_out MATCHES "unknown subcommand 'serve'")
+# 7. Serving-flag validation: every serve knob dies at the flag parser
+# with exit code 2 and a message naming the flag — before any socket or
+# model file is touched (no --load-model given on purpose).
+run(bad_port_out 2 serve --port 65536)
+if(NOT bad_port_out MATCHES "--port must be in \\[0, 65535\\]")
+  message(FATAL_ERROR "missing port validation in:\n${bad_port_out}")
+endif()
+run(bad_listen_out 2 serve --listen-threads 0)
+if(NOT bad_listen_out MATCHES "--listen-threads must be in \\[1, 64\\]")
+  message(FATAL_ERROR "missing listen-threads validation in:\n${bad_listen_out}")
+endif()
+run(bad_workers_out 2 serve --worker-threads 65)
+if(NOT bad_workers_out MATCHES "--worker-threads must be in \\[1, 64\\]")
+  message(FATAL_ERROR "missing worker-threads validation in:\n${bad_workers_out}")
+endif()
+run(bad_batch_out 2 serve --max-batch 5000)
+if(NOT bad_batch_out MATCHES "--max-batch must be in \\[1, 4096\\]")
+  message(FATAL_ERROR "missing max-batch validation in:\n${bad_batch_out}")
+endif()
+run(bad_window_out 2 serve --batch-window-us -1)
+if(NOT bad_window_out MATCHES "--batch-window-us must be in \\[0, 1000000\\]")
+  message(FATAL_ERROR "missing batch-window validation in:\n${bad_window_out}")
+endif()
+run(bad_queue_out 2 serve --max-batch 64 --queue-capacity 10)
+if(NOT bad_queue_out MATCHES "--queue-capacity must be >= --max-batch")
+  message(FATAL_ERROR "missing queue-capacity validation in:\n${bad_queue_out}")
+endif()
+run(bad_seconds_out 2 serve --serve-seconds 90000)
+if(NOT bad_seconds_out MATCHES "--serve-seconds must be in \\[0, 86400\\]")
+  message(FATAL_ERROR "missing serve-seconds validation in:\n${bad_seconds_out}")
+endif()
+run(no_model_out 2 serve)
+if(NOT no_model_out MATCHES "serve requires --load-model")
+  message(FATAL_ERROR "missing serve load-model error in:\n${no_model_out}")
+endif()
+
+# 8. A bounded serve run actually binds, serves, and exits cleanly.
+run(serve_out 0 serve --load-model ${model_path} --port 0 --serve-seconds 1)
+if(NOT serve_out MATCHES "serving on port [0-9]+")
+  message(FATAL_ERROR "missing serve startup banner in:\n${serve_out}")
+endif()
+if(NOT serve_out MATCHES "stopped after 1s")
+  message(FATAL_ERROR "missing clean-shutdown line in:\n${serve_out}")
+endif()
+
+# 9. Unknown subcommands and flags must fail with a clear error.
+run(bad_sub_out 2 serveur --load-model ${model_path})
+if(NOT bad_sub_out MATCHES "unknown subcommand 'serveur'")
   message(FATAL_ERROR "missing unknown-subcommand error in:\n${bad_sub_out}")
 endif()
 run(bad_flag_out 2 predict --load-model ${model_path} --wat 1)

@@ -5,6 +5,7 @@
 //   predict        batch x-hat predictions from a saved model snapshot
 //   topk           top-K completions along one mode from a saved snapshot
 //   convert-model  rewrite a snapshot as format v2 with IVF centroids
+//   serve          serve a snapshot over TCP (epoll + batch coalescing)
 //
 // Typical usage:
 //   ptucker_cli --input ratings.tns --ranks 10,10,5 --output-dir model/
@@ -56,11 +57,22 @@
 //                         the default; 0 = auto ≈ a tenth of the lists;
 //                         N >= 0 requires a snapshot written with
 //                         centroids — see convert-model)
+//   --port P              serve: TCP port in [0, 65535]; 0 = ephemeral
+//   --listen-threads N    serve: epoll loops / SO_REUSEPORT shards, [1, 64]
+//   --worker-threads N    serve: coalescer batch executors, [1, 64]
+//   --max-batch B         serve: coalesced batch cap, [1, 4096]
+//   --batch-window-us U   serve: batch fill window, [0, 1000000] us
+//   --queue-capacity Q    serve: bounded request queue, >= --max-batch
+//   --serve-seconds S     serve: stop after S seconds (0 = run forever,
+//                         the default; [0, 86400])
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/cp_als.h"
@@ -74,6 +86,7 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "linalg/matrix_io.h"
+#include "serve/net/server.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_v2.h"
@@ -99,6 +112,9 @@ constexpr SubcommandDescriptor kSubcommands[] = {
     {"topk", "top-K completions along --mode from --load-model at --index"},
     {"convert-model",
      "rewrite --load-model as a v2 snapshot (+IVF centroids) at --save-model"},
+    {"serve",
+     "serve --load-model over TCP: epoll loops + cross-client batch "
+     "coalescing (docs/serving.md)"},
 };
 
 std::string SubcommandNames() {
@@ -139,6 +155,13 @@ struct CliConfig {
   std::vector<std::int64_t> topk_index;
   std::int64_t topk_k = 10;
   std::int64_t topk_nprobe = -1;  // -1 = 'all' (exact scan)
+  std::int64_t serve_port = 0;    // 0 = ephemeral, printed at startup
+  std::int64_t serve_listen_threads = 1;
+  std::int64_t serve_worker_threads = 2;
+  std::int64_t serve_max_batch = 64;
+  std::int64_t serve_batch_window_us = 100;
+  std::int64_t serve_queue_capacity = 8192;
+  std::int64_t serve_seconds = 0;  // 0 = run until killed
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -156,6 +179,11 @@ void PrintUsageAndExit() {
       "i1,i2,... [--k K] [--topk-nprobe N|all]\n"
       "       ptucker_cli convert-model --load-model M.ptks --save-model "
       "M2.ptks\n"
+      "       ptucker_cli serve --load-model M.ptks [--port P] "
+      "[--listen-threads N]\n"
+      "                  [--worker-threads N] [--max-batch B] "
+      "[--batch-window-us U]\n"
+      "                  [--queue-capacity Q] [--serve-seconds S]\n"
       "       ptucker_cli --selftest\n\n");
   // Subcommand list generated from the same table the dispatcher uses.
   std::printf("subcommands (first argument; default decompose):\n");
@@ -180,9 +208,12 @@ void PrintUsageAndExit() {
       "          --sample-rate --adaptive-eps --tile-width --threads\n"
       "          --seed --test-fraction --output-dir --update-core --quiet\n"
       "model:    --save-model PATH (checkpoint after decompose, format v2)\n"
-      "          --load-model PATH (decompose: warm start; predict/topk:\n"
-      "          the served model) --queries PATH --mode M --index i1,...\n"
-      "          --k K --topk-nprobe N|all\n"
+      "          --load-model PATH (decompose: warm start; predict/topk/\n"
+      "          serve: the served model) --queries PATH --mode M\n"
+      "          --index i1,... --k K --topk-nprobe N|all\n"
+      "serving:  --port --listen-threads --worker-threads --max-batch\n"
+      "          --batch-window-us --queue-capacity --serve-seconds\n"
+      "          (wire protocol and semantics: docs/serving.md)\n"
       "flags accept both '--flag value' and '--flag=value'\n");
   std::exit(0);
 }
@@ -309,6 +340,19 @@ CliConfig ParseArgs(int argc, char** argv) {
         config.topk_nprobe = parsed;
       }
     }
+    else if (arg == "--port") config.serve_port = std::stoll(need_value(i));
+    else if (arg == "--listen-threads")
+      config.serve_listen_threads = std::stoll(need_value(i));
+    else if (arg == "--worker-threads")
+      config.serve_worker_threads = std::stoll(need_value(i));
+    else if (arg == "--max-batch")
+      config.serve_max_batch = std::stoll(need_value(i));
+    else if (arg == "--batch-window-us")
+      config.serve_batch_window_us = std::stoll(need_value(i));
+    else if (arg == "--queue-capacity")
+      config.serve_queue_capacity = std::stoll(need_value(i));
+    else if (arg == "--serve-seconds")
+      config.serve_seconds = std::stoll(need_value(i));
     else Fail("unknown flag: " + arg);
     if (has_inline_value) Fail("flag does not take a value: " + arg);
   }
@@ -323,6 +367,39 @@ CliConfig ParseArgs(int argc, char** argv) {
   if (!(config.adaptive_eps >= 0.0) || config.adaptive_eps >= 1.0) {
     Fail("--adaptive-eps must be in [0, 1), got " +
          std::to_string(config.adaptive_eps));
+  }
+  // Serving knobs die here too — same ranges NetServer's constructor
+  // enforces for library users, but with exit code 2 and the flag named
+  // so a typo'd systemd unit fails its start instead of half-working.
+  if (config.serve_port < 0 || config.serve_port > 65535) {
+    Fail("--port must be in [0, 65535], got " +
+         std::to_string(config.serve_port));
+  }
+  if (config.serve_listen_threads < 1 || config.serve_listen_threads > 64) {
+    Fail("--listen-threads must be in [1, 64], got " +
+         std::to_string(config.serve_listen_threads));
+  }
+  if (config.serve_worker_threads < 1 || config.serve_worker_threads > 64) {
+    Fail("--worker-threads must be in [1, 64], got " +
+         std::to_string(config.serve_worker_threads));
+  }
+  if (config.serve_max_batch < 1 || config.serve_max_batch > 4096) {
+    Fail("--max-batch must be in [1, 4096], got " +
+         std::to_string(config.serve_max_batch));
+  }
+  if (config.serve_batch_window_us < 0 ||
+      config.serve_batch_window_us > 1000000) {
+    Fail("--batch-window-us must be in [0, 1000000], got " +
+         std::to_string(config.serve_batch_window_us));
+  }
+  if (config.serve_queue_capacity < config.serve_max_batch) {
+    Fail("--queue-capacity must be >= --max-batch (" +
+         std::to_string(config.serve_max_batch) + "), got " +
+         std::to_string(config.serve_queue_capacity));
+  }
+  if (config.serve_seconds < 0 || config.serve_seconds > 86400) {
+    Fail("--serve-seconds must be in [0, 86400], got " +
+         std::to_string(config.serve_seconds));
   }
   return config;
 }
@@ -427,6 +504,44 @@ int RunTopk(const CliConfig& config) {
                 static_cast<long long>(top[r].index + 1), top[r].score);
   }
   return 0;
+}
+
+// serve: stand up the TCP front end (serve/net/server.h) over
+// --load-model and block. With --serve-seconds the server runs for a
+// bounded window and exits 0 — the shape the smoke test drives.
+int RunServe(const CliConfig& config) {
+  auto service =
+      std::make_shared<PredictionService>(MakeService(config));
+  NetServerOptions options;
+  options.port = static_cast<int>(config.serve_port);
+  options.listen_threads = static_cast<int>(config.serve_listen_threads);
+  options.worker_threads = static_cast<int>(config.serve_worker_threads);
+  options.max_batch = config.serve_max_batch;
+  options.batch_window_us = config.serve_batch_window_us;
+  options.queue_capacity = config.serve_queue_capacity;
+  NetServer server(service, options);
+  server.Start();
+  std::printf("serving on port %d (%d loops, %d workers, max batch %lld, "
+              "window %lld us)\n",
+              server.port(), options.listen_threads, options.worker_threads,
+              static_cast<long long>(options.max_batch),
+              static_cast<long long>(options.batch_window_us));
+  std::fflush(stdout);
+  if (config.serve_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(config.serve_seconds));
+    server.Stop();
+    const std::vector<std::uint64_t> counters = server.stats().ToVector();
+    std::printf("stopped after %llds: %llu connections, %llu requests, "
+                "%llu batches\n",
+                static_cast<long long>(config.serve_seconds),
+                static_cast<unsigned long long>(counters[0]),
+                static_cast<unsigned long long>(counters[1]),
+                static_cast<unsigned long long>(counters[6]));
+    return 0;
+  }
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::hours(1));
+  }
 }
 
 // convert-model: parse any supported snapshot and rewrite it as v2 with
@@ -609,6 +724,7 @@ int main(int argc, char** argv) {
     if (config.subcommand == "predict") return RunPredict(config);
     if (config.subcommand == "topk") return RunTopk(config);
     if (config.subcommand == "convert-model") return RunConvertModel(config);
+    if (config.subcommand == "serve") return RunServe(config);
     return Run(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ptucker_cli: error: %s\n", e.what());
