@@ -13,10 +13,8 @@
 #include "core/delta_engine.h"
 #include "core/orthogonalize.h"
 #include "core/reconstruction.h"
+#include "core/row_update.h"
 #include "core/truncation.h"
-#include "linalg/blas.h"
-#include "linalg/cholesky.h"
-#include "linalg/lu.h"
 #include "tensor/nmode.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -25,36 +23,6 @@
 namespace ptucker {
 
 namespace {
-
-// Scopes the OpenMP thread-count and schedule ICVs so a solver honors its
-// options without leaking settings to the caller.
-class OmpEnvironmentGuard {
- public:
-  OmpEnvironmentGuard(int num_threads, Scheduling scheduling) {
-    saved_threads_ = omp_get_max_threads();
-    omp_get_schedule(&saved_schedule_, &saved_chunk_);
-    if (num_threads > 0) omp_set_num_threads(num_threads);
-    // Row updates use schedule(runtime); §III-D prescribes dynamic
-    // scheduling because |Ω(n,in)| is skewed.
-    if (scheduling == Scheduling::kDynamic) {
-      omp_set_schedule(omp_sched_dynamic, 8);
-    } else {
-      omp_set_schedule(omp_sched_static, 0);
-    }
-  }
-  ~OmpEnvironmentGuard() {
-    omp_set_num_threads(saved_threads_);
-    omp_set_schedule(saved_schedule_, saved_chunk_);
-  }
-
-  OmpEnvironmentGuard(const OmpEnvironmentGuard&) = delete;
-  OmpEnvironmentGuard& operator=(const OmpEnvironmentGuard&) = delete;
-
- private:
-  int saved_threads_;
-  omp_sched_t saved_schedule_;
-  int saved_chunk_;
-};
 
 void ValidateInputs(const SparseTensor& x, const PTuckerOptions& options) {
   if (x.nnz() == 0) {
@@ -123,35 +91,6 @@ void ValidateInputs(const SparseTensor& x, const PTuckerOptions& options) {
       }
     }
   }
-}
-
-// Mixes the run seed with a (iteration, mode, row) key so every row draws
-// an independent, reproducible subsample stream.
-std::uint64_t SampleStreamSeed(std::uint64_t seed, int iteration,
-                               std::int64_t mode, std::int64_t row) {
-  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
-  for (const std::uint64_t word :
-       {static_cast<std::uint64_t>(iteration), static_cast<std::uint64_t>(mode),
-        static_cast<std::uint64_t>(row)}) {
-    h ^= word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    h *= 0xff51afd7ed558ccdULL;
-    h ^= h >> 33;
-  }
-  return h;
-}
-
-// Solves row (B + λI) = c, writing the Jn results into `row`.
-// Cholesky first (B + λI is SPD for λ > 0, Theorem 1); LU fallback covers
-// λ = 0 with rank-deficient B; as a last resort the row is zeroed.
-void SolveRow(const Matrix& b_plus_lambda, const double* c, double* row,
-              std::int64_t rank) {
-  if (CholeskySolveRow(b_plus_lambda, c, row)) return;
-  LuDecomposition lu(b_plus_lambda);
-  if (lu.ok()) {
-    lu.Solve(c, row);
-    return;
-  }
-  for (std::int64_t j = 0; j < rank; ++j) row[j] = 0.0;
 }
 
 }  // namespace
@@ -241,102 +180,20 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
     Stopwatch iteration_clock;
 
-    // --- Update factor matrices (Algorithm 3). ---
+    // --- Update factor matrices (Algorithm 3), every row of every mode
+    // through the shared row-subset entry point (row_update.h). ---
+    RowUpdateOptions row_options;
+    row_options.lambda = options.lambda;
+    row_options.sample_rate = options.sample_rate;
+    row_options.seed = options.seed;
+    row_options.iteration = iteration;
     for (std::int64_t mode = 0; mode < order; ++mode) {
-      const std::int64_t rank =
-          options.core_dims[static_cast<std::size_t>(mode)];
       Matrix old_factor;
       if (engine->WantsFactorSnapshot()) {
         old_factor = factors[static_cast<std::size_t>(mode)];
       }
-
-      Matrix& factor = factors[static_cast<std::size_t>(mode)];
-      const std::int64_t n_rows = x.dim(mode);
-
-      const bool subsample = options.sample_rate < 1.0;
-
-#pragma omp parallel
-      {
-        // Per-thread intermediate data (Fig. 4): B, c, the δ tile, and
-        // the row. The tile buffers batch entries between DeltaBatch
-        // calls; with batch = 1 this degenerates to the per-entry flow.
-        Matrix b(rank, rank);
-        std::vector<double> c(static_cast<std::size_t>(rank));
-        std::vector<double> new_row(static_cast<std::size_t>(rank));
-        std::vector<double> deltas(static_cast<std::size_t>(batch * rank));
-        std::vector<std::int64_t> tile_entries(static_cast<std::size_t>(batch));
-        std::vector<const std::int64_t*> tile_index(
-            static_cast<std::size_t>(batch));
-        std::vector<double> tile_values(static_cast<std::size_t>(batch));
-
-        // schedule(runtime): dynamic under the paper's careful
-        // distribution of work, static for the naive ablation.
-#pragma omp for schedule(runtime)
-        for (std::int64_t row_index = 0; row_index < n_rows; ++row_index) {
-          const auto slice = x.Slice(mode, row_index);
-          if (slice.empty()) {
-            // No observations touch this row: the regularized minimum is 0.
-            for (std::int64_t j = 0; j < rank; ++j) factor(row_index, j) = 0.0;
-            continue;
-          }
-          b.Fill(0.0);
-          std::fill(c.begin(), c.end(), 0.0);
-          Rng sampler(subsample ? SampleStreamSeed(options.seed, iteration,
-                                                   mode, row_index)
-                                : 0);
-          // Tiled δ, then the Eq. 10 / Eq. 11 accumulations. The per-tile
-          // results are consumed in entry order, so B and c accumulate in
-          // exactly the per-entry order regardless of the batch width —
-          // trajectories do not depend on how the engine tiles δ.
-          std::int64_t pending = 0;
-          const auto flush_tile = [&] {
-            if (pending == 0) return;
-            engine->DeltaBatch(pending, tile_entries.data(), tile_index.data(),
-                               mode, deltas.data());
-            for (std::int64_t i = 0; i < pending; ++i) {
-              double* delta = deltas.data() + i * rank;
-              SymmetricRank1Update(b, delta);                  // Eq. 10
-              Axpy(tile_values[static_cast<std::size_t>(i)], delta, c.data(),
-                   rank);                                      // Eq. 11
-            }
-            pending = 0;
-          };
-          const auto accumulate_entry = [&](std::int64_t entry) {
-            if (batch == 1) {
-              // Batch-1 engines keep the direct per-entry hot path — no
-              // tile buffering, no extra virtual dispatch.
-              engine->ComputeDelta(entry, x.index(entry), mode,
-                                   deltas.data());
-              SymmetricRank1Update(b, deltas.data());            // Eq. 10
-              Axpy(x.value(entry), deltas.data(), c.data(), rank);
-              return;
-            }
-            tile_entries[static_cast<std::size_t>(pending)] = entry;
-            tile_index[static_cast<std::size_t>(pending)] = x.index(entry);
-            tile_values[static_cast<std::size_t>(pending)] = x.value(entry);
-            if (++pending == batch) flush_tile();
-          };
-          std::int64_t used = 0;
-          for (const std::int64_t entry : slice) {
-            if (subsample && sampler.Uniform() >= options.sample_rate) {
-              continue;
-            }
-            ++used;
-            accumulate_entry(entry);
-          }
-          if (subsample && used == 0) {
-            // Keep every observed row anchored to at least one entry.
-            accumulate_entry(slice.front());
-          }
-          flush_tile();
-          for (std::int64_t j = 0; j < rank; ++j) b(j, j) += options.lambda;
-          SolveRow(b, c.data(), new_row.data(), rank);      // Eq. 9
-          for (std::int64_t j = 0; j < rank; ++j) {
-            factor(row_index, j) = new_row[static_cast<std::size_t>(j)];
-          }
-        }
-      }
-
+      UpdateFactorRows(x, mode, /*rows=*/nullptr, /*num_rows=*/0, *engine,
+                       &factors[static_cast<std::size_t>(mode)], row_options);
       engine->OnFactorUpdated(mode, old_factor);
     }
 

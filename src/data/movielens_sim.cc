@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "tensor/index.h"
@@ -117,6 +118,106 @@ MovieLensData SimulateMovieLens(const MovieLensConfig& config) {
   tensor.BuildModeIndex();
   data.tensor = std::move(tensor);
   return data;
+}
+
+MovieLensStream SimulateMovieLensStream(const MovieLensStreamConfig& config) {
+  PTUCKER_CHECK(config.num_events >= 0);
+  PTUCKER_CHECK(config.update_fraction >= 0.0 &&
+                config.delete_fraction >= 0.0 &&
+                config.update_fraction + config.delete_fraction <= 1.0);
+  PTUCKER_CHECK(config.max_timestamp_step >= 0);
+
+  MovieLensStream stream;
+  stream.initial = SimulateMovieLens(config.base);
+  const MovieLensData& data = stream.initial;
+  const MovieLensConfig& base = config.base;
+
+  const std::vector<std::int64_t>& dims = data.tensor.dims();
+  const auto strides = ComputeStrides(dims);
+
+  // The live set: linearized keys of currently-observed coordinates, as a
+  // vector (O(1) uniform pick with swap-remove) plus a key→position map
+  // (O(1) membership + removal). Deletes free their coordinate, so a
+  // later append may legitimately re-observe it.
+  std::vector<std::int64_t> live_keys;
+  std::unordered_map<std::int64_t, std::size_t> key_pos;
+  live_keys.reserve(static_cast<std::size_t>(data.tensor.nnz()));
+  key_pos.reserve(static_cast<std::size_t>(data.tensor.nnz() * 2));
+  for (std::int64_t e = 0; e < data.tensor.nnz(); ++e) {
+    const std::int64_t key = Linearize(data.tensor.index(e), strides, 4);
+    key_pos.emplace(key, live_keys.size());
+    live_keys.push_back(key);
+  }
+
+  Rng rng(config.seed);
+  const ZipfSampler user_sampler(base.num_users, base.popularity_skew);
+  const ZipfSampler movie_sampler(base.num_movies, base.popularity_skew);
+
+  // Rating of a coordinate under the planted model (genre match + hour
+  // affinity + noise — the structure the discovery experiments recover).
+  std::int64_t index[4];
+  const auto planted_rating = [&]() {
+    const std::int64_t genre =
+        data.movie_genre[static_cast<std::size_t>(index[1])];
+    double rating = 0.3;
+    if (data.user_genre[static_cast<std::size_t>(index[0])] == genre) {
+      rating += 0.35;
+    }
+    rating += data.genre_hour_boost[static_cast<std::size_t>(
+        genre * base.num_hours + index[3])];
+    rating += rng.Normal(0.0, base.noise_stddev);
+    return std::clamp(rating, 0.0, 1.0);
+  };
+  const auto remove_live = [&](std::size_t pos) {
+    key_pos.erase(live_keys[pos]);
+    if (pos + 1 != live_keys.size()) {
+      live_keys[pos] = live_keys.back();
+      key_pos[live_keys[pos]] = pos;
+    }
+    live_keys.pop_back();
+  };
+
+  stream.events.reserve(static_cast<std::size_t>(config.num_events));
+  std::int64_t timestamp = config.start_timestamp;
+  for (std::int64_t n = 0; n < config.num_events; ++n) {
+    timestamp += static_cast<std::int64_t>(rng.UniformInt(
+        static_cast<std::uint64_t>(config.max_timestamp_step) + 1));
+    const double kind = rng.Uniform();
+    StreamEvent event;
+    event.timestamp = timestamp;
+    if (kind < config.update_fraction + config.delete_fraction &&
+        !live_keys.empty()) {
+      const std::size_t pos = static_cast<std::size_t>(
+          rng.UniformInt(static_cast<std::uint64_t>(live_keys.size())));
+      Delinearize(live_keys[pos], dims, index);
+      event.index.assign(index, index + 4);
+      if (kind < config.update_fraction) {
+        event.op = StreamOp::kUpdate;
+        event.value = planted_rating();
+      } else {
+        event.op = StreamOp::kDelete;
+        remove_live(pos);
+      }
+    } else {
+      // Append: draw Zipf-skewed coordinates until one is unobserved.
+      do {
+        index[0] = user_sampler.Draw(rng);
+        index[1] = movie_sampler.Draw(rng);
+        index[2] = static_cast<std::int64_t>(
+            rng.UniformInt(static_cast<std::uint64_t>(base.num_years)));
+        index[3] = static_cast<std::int64_t>(
+            rng.UniformInt(static_cast<std::uint64_t>(base.num_hours)));
+      } while (key_pos.count(Linearize(index, strides, 4)) != 0);
+      const std::int64_t key = Linearize(index, strides, 4);
+      key_pos.emplace(key, live_keys.size());
+      live_keys.push_back(key);
+      event.op = StreamOp::kAppend;
+      event.index.assign(index, index + 4);
+      event.value = planted_rating();
+    }
+    stream.events.push_back(std::move(event));
+  }
+  return stream;
 }
 
 }  // namespace ptucker

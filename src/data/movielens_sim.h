@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stream/event_log.h"
 #include "tensor/sparse_tensor.h"
 #include "util/random.h"
 
@@ -47,6 +48,37 @@ struct MovieLensData {
 
 /// Generates the simulated tensor plus its ground truth.
 MovieLensData SimulateMovieLens(const MovieLensConfig& config);
+
+/// Configures the timestamped event stream laid on top of a simulated
+/// MovieLens tensor: an initial Ω (the `base` simulation) followed by
+/// `num_events` append/update/delete mutations drawn from the same
+/// planted-structure rating model.
+struct MovieLensStreamConfig {
+  MovieLensConfig base;               ///< the initial tensor + ground truth
+  std::int64_t num_events = 5000;     ///< mutations after the initial load
+  double update_fraction = 0.2;       ///< P(event re-rates a live entry)
+  double delete_fraction = 0.1;       ///< P(event removes a live entry)
+  std::int64_t start_timestamp = 0;   ///< timestamp of the stream's epoch
+  std::int64_t max_timestamp_step = 1000;  ///< max gap between events
+  std::uint64_t seed = 43;            ///< event-stream RNG (independent of
+                                      ///< base.seed)
+};
+
+/// A simulated tensor plus the event stream that mutates it.
+struct MovieLensStream {
+  MovieLensData initial;            ///< the tensor at the stream's epoch
+  std::vector<StreamEvent> events;  ///< timestamped mutations, time-ordered
+};
+
+/// Generates the initial tensor via SimulateMovieLens(config.base), then
+/// `config.num_events` mutations: updates re-rate and deletes remove a
+/// uniformly-drawn live entry; appends land on a fresh unobserved
+/// coordinate (Zipf-skewed like the initial load) with a rating from the
+/// same planted model. When no live entry exists the event falls back to
+/// an append. Timestamps start at `start_timestamp` and advance by a
+/// uniform step in [0, max_timestamp_step], so they are non-decreasing.
+/// Deterministic: the same config yields a byte-identical event log.
+MovieLensStream SimulateMovieLensStream(const MovieLensStreamConfig& config);
 
 }  // namespace ptucker
 

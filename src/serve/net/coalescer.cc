@@ -16,7 +16,8 @@ std::vector<std::uint64_t> ServerStats::ToVector() const {
           errors_sent.load(std::memory_order_relaxed),
           batches_executed.load(std::memory_order_relaxed),
           batched_entries.load(std::memory_order_relaxed),
-          max_batch_observed.load(std::memory_order_relaxed)};
+          max_batch_observed.load(std::memory_order_relaxed),
+          overloads_shed.load(std::memory_order_relaxed)};
 }
 
 void ServerStats::ObserveBatch(std::uint64_t size) {

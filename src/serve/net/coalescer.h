@@ -42,11 +42,14 @@ struct ServerStats {
   std::atomic<std::uint64_t> batches_executed{0};
   std::atomic<std::uint64_t> batched_entries{0};
   std::atomic<std::uint64_t> max_batch_observed{0};
+  std::atomic<std::uint64_t> overloads_shed{0};
 
   /// The STATS wire payload, in this exact documented order (see the
   /// stats table in docs/serving.md): connections_accepted,
   /// requests_received, predicts_served, topks_served, pings_served,
-  /// errors_sent, batches_executed, batched_entries, max_batch_observed.
+  /// errors_sent, batches_executed, batched_entries, max_batch_observed,
+  /// overloads_shed. New counters only ever append, so old clients keep
+  /// their offsets.
   std::vector<std::uint64_t> ToVector() const;
 
   /// Monotonic max update for max_batch_observed.

@@ -133,11 +133,15 @@ void EventLoop::NotifyQueueSpace() {
 void EventLoop::Run() {
   epoll_event events[64];
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    const int n = ::epoll_wait(epoll_fd_, events, 64, WaitTimeoutMs());
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    // A parked request whose overload deadline passed while we waited
+    // (n may be 0 — the timeout itself — or > 0) is shed now, before the
+    // event batch, so a flood of traffic cannot starve the deadline.
+    ShedExpiredParked();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const std::uint32_t ev = events[i].events;
@@ -336,11 +340,68 @@ bool EventLoop::PushOrDefer(Connection* conn, NetRequest&& request) {
   if (coalescer_->TryPush(std::move(request))) return true;
   // Queue full: park the decoded request on its connection and stop
   // reading that socket — TCP flow control now pushes back on the
-  // client. NotifyQueueSpace retries when a worker drains the queue.
+  // client. NotifyQueueSpace retries when a worker drains the queue;
+  // with an overload deadline armed, ShedExpiredParked answers
+  // kOverloaded instead once the deadline passes (immediately at 0).
   conn->deferred = std::move(request);
   conn->has_deferred = true;
+  if (options_.overload_timeout_ms == 0) {
+    ShedDeferred(conn);
+    return true;  // parsing may continue; later frames shed the same way
+  }
   conn->reads_paused = true;
+  conn->parked_at = std::chrono::steady_clock::now();
   return false;
+}
+
+void EventLoop::ShedDeferred(Connection* conn) {
+  stats_->overloads_shed.fetch_add(1, std::memory_order_relaxed);
+  stats_->errors_sent.fetch_add(1, std::memory_order_relaxed);
+  QueueReply(conn,
+             EncodeErrorReply(conn->deferred.opcode, conn->deferred.request_id,
+                              WireStatus::kOverloaded,
+                              "server overloaded: request queue full past "
+                              "the shed deadline"));
+  conn->deferred = NetRequest();
+  conn->has_deferred = false;
+}
+
+void EventLoop::ShedExpiredParked() {
+  if (options_.overload_timeout_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline = std::chrono::milliseconds(options_.overload_timeout_ms);
+  for (auto& entry : conns_) {
+    Connection* conn = entry.second.get();
+    if (!conn->has_deferred || conn->closing) continue;
+    if (now - conn->parked_at < deadline) continue;
+    ShedDeferred(conn);
+    // Shed clears the park; resume reading unless the reply backlog
+    // still holds the connection.
+    if (conn->outbuf.size() - conn->out_pos <= options_.max_outbuf) {
+      conn->reads_paused = false;
+      ParseInput(conn);
+    }
+  }
+}
+
+int EventLoop::WaitTimeoutMs() const {
+  if (options_.overload_timeout_ms <= 0) return -1;
+  bool any_parked = false;
+  auto earliest = std::chrono::steady_clock::time_point::max();
+  for (const auto& entry : conns_) {
+    const Connection* conn = entry.second.get();
+    if (!conn->has_deferred || conn->closing) continue;
+    any_parked = true;
+    if (conn->parked_at < earliest) earliest = conn->parked_at;
+  }
+  if (!any_parked) return -1;
+  const auto expires =
+      earliest + std::chrono::milliseconds(options_.overload_timeout_ms);
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      expires - std::chrono::steady_clock::now());
+  // Round up so a wakeup at the boundary actually finds the deadline
+  // passed instead of spinning on 0-ms waits.
+  return remaining.count() <= 0 ? 0 : static_cast<int>(remaining.count()) + 1;
 }
 
 void EventLoop::QueueReply(Connection* conn,

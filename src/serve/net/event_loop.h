@@ -17,6 +17,7 @@
 #define PTUCKER_SERVE_NET_EVENT_LOOP_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,12 @@ class EventLoop : public ReplySink {
     std::size_t max_inbuf = 1u << 20;   ///< unparsed-bytes cap per conn
     std::size_t max_outbuf = 1u << 22;  ///< unsent-reply cap before the
                                         ///< connection's reads pause
+    /// Load-shedding deadline for a request parked on a full coalescer
+    /// queue. -1 (default) parks forever behind TCP flow control; 0
+    /// sheds immediately; > 0 sheds after that many milliseconds. A
+    /// shed request is answered with WireStatus::kOverloaded (the
+    /// connection stays open) and counted in overloads_shed.
+    std::int64_t overload_timeout_ms = -1;
   };
 
   /// `coalescer` and `stats` must outlive the loop. `id_base` makes
@@ -86,6 +93,7 @@ class EventLoop : public ReplySink {
     bool closing = false;       ///< flush outbuf, then close
     bool has_deferred = false;  ///< parked request awaiting queue space
     NetRequest deferred;
+    std::chrono::steady_clock::time_point parked_at;  ///< when it parked
   };
 
   void AcceptNewConnections();
@@ -106,6 +114,15 @@ class EventLoop : public ReplySink {
   void FailConnection(Connection* conn, Opcode opcode,
                       std::uint64_t request_id, const std::string& message);
   void ResumeStalledReads();
+  /// Replies kOverloaded to a parked request and resumes the connection
+  /// (unless still write-pressured).
+  void ShedDeferred(Connection* conn);
+  /// Sheds every parked request whose overload deadline has passed and
+  /// resumes parsing on those connections.
+  void ShedExpiredParked();
+  /// epoll_wait timeout: -1 with no armed deadline, else milliseconds
+  /// until the earliest parked request expires (>= 0).
+  int WaitTimeoutMs() const;
   void UpdateInterest(Connection* conn);
   void CloseConnection(Connection* conn);
   void DrainPostedReplies();

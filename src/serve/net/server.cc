@@ -36,6 +36,8 @@ NetServer::NetServer(std::shared_ptr<PredictionService> service,
     throw std::invalid_argument(
         "serve-net: queue_capacity must be >= max_batch");
   }
+  CheckRange("overload_timeout_ms", options_.overload_timeout_ms, -1,
+             3600000);
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -64,13 +66,15 @@ void NetServer::Start() {
   coalescer_ = std::make_unique<BatchCoalescer>(service_.get(), &stats_,
                                                 coalescer_options);
 
+  EventLoop::Options loop_options;
+  loop_options.overload_timeout_ms = options_.overload_timeout_ms;
   loops_.clear();
   for (int t = 0; t < options_.listen_threads; ++t) {
     // id_base keeps connection ids globally unique: the loop index lives
     // in the top bits, each loop counts monotonically below it.
     loops_.push_back(std::make_unique<EventLoop>(
         listeners[static_cast<std::size_t>(t)], coalescer_.get(), &stats_,
-        static_cast<std::uint64_t>(t + 1) << 48, EventLoop::Options{}));
+        static_cast<std::uint64_t>(t + 1) << 48, loop_options));
   }
   coalescer_->SetSpaceCallback([this] {
     for (const auto& loop : loops_) loop->NotifyQueueSpace();

@@ -36,6 +36,10 @@ struct NetServerOptions {
   std::int64_t max_batch = 64;         ///< coalesced batch cap, [1, 4096]
   std::int64_t batch_window_us = 100;  ///< batch fill window, [0, 1e6] µs
   std::int64_t queue_capacity = 8192;  ///< bounded MPSC depth, >= max_batch
+  /// Parked-request shed deadline in ms, [-1, 3600000]: -1 parks forever
+  /// (pure TCP backpressure), 0 sheds immediately, > 0 sheds after the
+  /// deadline with a kOverloaded reply. See EventLoop::Options.
+  std::int64_t overload_timeout_ms = -1;
 };
 
 /// Owns the loops, the coalescer, and their threads. The service stays

@@ -62,8 +62,9 @@ enum class WireStatus : std::uint8_t {
                     ///< closes, since byte sync is unrecoverable
   kBadRequest = 2,  ///< payload contents invalid (sizes, ranges, modes);
                     ///< connection stays open
-  kOverloaded = 3,  ///< reserved for load shedding (backpressure today
-                    ///< pauses reads instead of erroring)
+  kOverloaded = 3,  ///< load shed: the request queue refused the push
+                    ///< past the server's overload deadline; retry
+                    ///< later (connection stays open)
   kInternal = 4,    ///< unexpected server-side failure
 };
 

@@ -1,0 +1,426 @@
+#include "stream/ingest_pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/row_update.h"
+#include "serve/snapshot_v2.h"
+#include "tensor/index.h"
+
+namespace ptucker {
+
+namespace {
+
+// Durable write: bytes land in `path + ".tmp"` first, then rename into
+// place, so a crash never leaves a torn file at `path`.
+void AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+std::string CheckpointFileName(std::int64_t seq) {
+  return "ckpt-" + std::to_string(seq) + ".ptks";
+}
+
+}  // namespace
+
+IngestPipeline::IngestPipeline(SparseTensor tensor, TuckerFactorization model,
+                               IngestOptions options)
+    : tensor_(std::move(tensor)),
+      model_(std::move(model)),
+      options_(std::move(options)) {
+  const std::int64_t order = tensor_.order();
+  if (order < 1) {
+    throw std::invalid_argument("ingest: tensor must have at least one mode");
+  }
+  if (static_cast<std::int64_t>(model_.factors.size()) != order ||
+      model_.core.order() != order) {
+    throw std::invalid_argument(
+        "ingest: model order does not match the tensor");
+  }
+  for (std::int64_t n = 0; n < order; ++n) {
+    const Matrix& factor = model_.factors[static_cast<std::size_t>(n)];
+    if (factor.rows() != tensor_.dim(n) ||
+        factor.cols() != model_.core.dim(n)) {
+      throw std::invalid_argument(
+          "ingest: model shape mismatch in mode " + std::to_string(n));
+    }
+  }
+  if (options_.lambda < 0.0) {
+    throw std::invalid_argument("ingest: lambda must be non-negative");
+  }
+  if (options_.flush_every < 1) {
+    throw std::invalid_argument("ingest: flush_every must be >= 1");
+  }
+  if (options_.checkpoint_every < 0) {
+    throw std::invalid_argument("ingest: checkpoint_every must be >= 0");
+  }
+  if (options_.solve_passes < 1) {
+    throw std::invalid_argument("ingest: solve_passes must be >= 1");
+  }
+  if (options_.ops_already_applied < 0) {
+    throw std::invalid_argument("ingest: ops_already_applied must be >= 0");
+  }
+
+  engine_choice_ = options_.delta_engine == DeltaEngineChoice::kAuto
+                       ? DeltaEngineChoice::kModeMajor
+                       : options_.delta_engine;
+  if (!options_.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(options_.checkpoint_dir);
+  }
+  strides_ = ComputeStrides(tensor_.dims());
+  ops_applied_ = options_.ops_already_applied;
+  next_seq_ = options_.checkpoint_every > 0
+                  ? ops_applied_ / options_.checkpoint_every
+                  : 0;
+
+  tensor_.BuildModeIndex();
+  RebuildKeyMap();
+  if (static_cast<std::int64_t>(key_to_entry_.size()) != tensor_.nnz()) {
+    throw std::invalid_argument("ingest: tensor has duplicate coordinates");
+  }
+  live_.reserve(key_to_entry_.size() * 2);
+  for (const auto& kv : key_to_entry_) live_.emplace(kv.first, 1);
+
+  core_list_ = std::make_unique<CoreEntryList>(model_.core);
+  RebuildEngine();
+}
+
+IngestPipeline::~IngestPipeline() = default;
+
+void IngestPipeline::ValidateIndex(
+    const std::vector<std::int64_t>& index) const {
+  if (static_cast<std::int64_t>(index.size()) != tensor_.order() ||
+      !IndexInBounds(index.data(), tensor_.dims())) {
+    throw std::invalid_argument("ingest: coordinate out of bounds");
+  }
+}
+
+void IngestPipeline::Append(const std::vector<std::int64_t>& index,
+                            double value) {
+  ValidateIndex(index);
+  const std::int64_t key = Linearize(index.data(), strides_, tensor_.order());
+  if (live_.count(key) != 0) {
+    throw std::invalid_argument(
+        "ingest: append to an already-observed coordinate (update instead)");
+  }
+  live_.emplace(key, 1);
+  StreamEvent event;
+  event.op = StreamOp::kAppend;
+  event.index = index;
+  event.value = value;
+  pending_.push_back(std::move(event));
+  if (pending() >= options_.flush_every) Flush();
+}
+
+void IngestPipeline::Update(const std::vector<std::int64_t>& index,
+                            double value) {
+  ValidateIndex(index);
+  const std::int64_t key = Linearize(index.data(), strides_, tensor_.order());
+  if (live_.count(key) == 0) {
+    throw std::invalid_argument(
+        "ingest: update of an unobserved coordinate (append instead)");
+  }
+  StreamEvent event;
+  event.op = StreamOp::kUpdate;
+  event.index = index;
+  event.value = value;
+  pending_.push_back(std::move(event));
+  if (pending() >= options_.flush_every) Flush();
+}
+
+void IngestPipeline::Delete(const std::vector<std::int64_t>& index) {
+  ValidateIndex(index);
+  const std::int64_t key = Linearize(index.data(), strides_, tensor_.order());
+  if (live_.count(key) == 0) {
+    throw std::invalid_argument("ingest: delete of an unobserved coordinate");
+  }
+  live_.erase(key);
+  StreamEvent event;
+  event.op = StreamOp::kDelete;
+  event.index = index;
+  pending_.push_back(std::move(event));
+  if (pending() >= options_.flush_every) Flush();
+}
+
+void IngestPipeline::Apply(const StreamEvent& event) {
+  switch (event.op) {
+    case StreamOp::kAppend:
+      Append(event.index, event.value);
+      return;
+    case StreamOp::kUpdate:
+      Update(event.index, event.value);
+      return;
+    case StreamOp::kDelete:
+      Delete(event.index);
+      return;
+  }
+  throw std::invalid_argument("ingest: unknown stream op");
+}
+
+void IngestPipeline::Flush() {
+  if (pending_.empty()) return;
+  const std::int64_t order = tensor_.order();
+
+  // Apply the buffered mutations to Ω in arrival order. Deletes only
+  // flag entries; the compaction runs once at the end so earlier ids
+  // stay valid throughout the batch.
+  bool structural = false;
+  std::vector<std::int64_t> delete_ids;
+  std::vector<std::vector<std::int64_t>> touched(
+      static_cast<std::size_t>(order));
+  for (const StreamEvent& event : pending_) {
+    const std::int64_t key =
+        Linearize(event.index.data(), strides_, order);
+    switch (event.op) {
+      case StreamOp::kAppend: {
+        const std::int64_t id = tensor_.nnz();
+        tensor_.AddEntry(event.index, event.value);
+        key_to_entry_[key] = id;
+        structural = true;
+        break;
+      }
+      case StreamOp::kUpdate:
+        tensor_.set_value(key_to_entry_.at(key), event.value);
+        break;
+      case StreamOp::kDelete:
+        delete_ids.push_back(key_to_entry_.at(key));
+        key_to_entry_.erase(key);
+        structural = true;
+        break;
+    }
+    for (std::int64_t n = 0; n < order; ++n) {
+      touched[static_cast<std::size_t>(n)].push_back(
+          event.index[static_cast<std::size_t>(n)]);
+    }
+  }
+  if (!delete_ids.empty()) {
+    std::vector<char> remove(static_cast<std::size_t>(tensor_.nnz()), 0);
+    for (const std::int64_t id : delete_ids) {
+      remove[static_cast<std::size_t>(id)] = 1;
+    }
+    tensor_.RemoveEntries(remove);
+    RebuildKeyMap();
+  }
+  if (!tensor_.has_mode_index()) tensor_.BuildModeIndex();
+
+  ops_applied_ += pending();
+  pending_.clear();
+
+  // Engines with Ω-keyed derived state (the Pres table) see a different
+  // entry set now; value-only batches keep the engine as-is.
+  if (structural) RebuildEngine();
+
+  for (auto& rows : touched) {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+  SolveTouchedRows(touched);
+
+  if (options_.checkpoint_every > 0) {
+    const std::int64_t target = ops_applied_ / options_.checkpoint_every;
+    while (next_seq_ < target) {
+      ++next_seq_;
+      WriteCheckpoint(next_seq_);
+    }
+  }
+}
+
+std::int64_t IngestPipeline::Checkpoint() {
+  Flush();
+  ++next_seq_;
+  WriteCheckpoint(next_seq_);
+  return next_seq_;
+}
+
+void IngestPipeline::WriteCheckpoint(std::int64_t seq) {
+  std::string snapshot_path;
+  if (!options_.checkpoint_dir.empty()) {
+    const std::string file = CheckpointFileName(seq);
+    snapshot_path = options_.checkpoint_dir + "/" + file;
+    // Snapshot first, MANIFEST last: the MANIFEST only ever names a
+    // fully-written snapshot, whichever instant a crash hits.
+    AtomicWriteFile(snapshot_path, SerializeSnapshotV2(model_, nullptr));
+    std::ostringstream manifest;
+    manifest << "ptucker-checkpoint v1\n"
+             << "seq " << seq << "\n"
+             << "file " << file << "\n"
+             << "ops " << ops_applied_ << "\n";
+    AtomicWriteFile(options_.checkpoint_dir + "/MANIFEST", manifest.str());
+  }
+
+  // The crash window the fault hook targets: the checkpoint is durable
+  // but not yet serving.
+  if (options_.fault_hook) options_.fault_hook();
+
+  if (options_.service != nullptr) {
+    if (!snapshot_path.empty()) {
+      options_.service->ReloadSnapshot(ModelSnapshot::CreateFromFile(
+          snapshot_path, options_.tile_width, options_.tracker));
+    } else {
+      TuckerFactorization copy = model_;
+      options_.service->ReloadSnapshot(ModelSnapshot::Create(
+          std::move(copy), options_.tile_width, options_.tracker));
+    }
+  }
+  ++checkpoints_written_;
+}
+
+void IngestPipeline::RebuildKeyMap() {
+  key_to_entry_.clear();
+  key_to_entry_.reserve(static_cast<std::size_t>(tensor_.nnz()) * 2);
+  for (std::int64_t e = 0; e < tensor_.nnz(); ++e) {
+    key_to_entry_.emplace(Linearize(tensor_.index(e), strides_,
+                                    tensor_.order()),
+                          e);
+  }
+}
+
+void IngestPipeline::RebuildEngine() {
+  engine_.reset();
+  engine_ = MakeDeltaEngine(engine_choice_, tensor_, *core_list_,
+                            model_.factors, options_.tracker,
+                            options_.adaptive_epsilon, options_.tile_width);
+}
+
+void IngestPipeline::SolveTouchedRows(
+    const std::vector<std::vector<std::int64_t>>& rows) {
+  OmpEnvironmentGuard omp_guard(options_.num_threads, options_.scheduling);
+  RowUpdateOptions row_options;
+  row_options.lambda = options_.lambda;
+  for (int pass = 0; pass < options_.solve_passes; ++pass) {
+    for (std::int64_t mode = 0; mode < tensor_.order(); ++mode) {
+      const std::vector<std::int64_t>& mode_rows =
+          rows[static_cast<std::size_t>(mode)];
+      if (mode_rows.empty()) continue;
+      Matrix old_factor;
+      if (engine_->WantsFactorSnapshot()) {
+        old_factor = model_.factors[static_cast<std::size_t>(mode)];
+      }
+      UpdateFactorRows(tensor_, mode, mode_rows.data(),
+                       static_cast<std::int64_t>(mode_rows.size()), *engine_,
+                       &model_.factors[static_cast<std::size_t>(mode)],
+                       row_options);
+      engine_->OnFactorUpdated(mode, old_factor);
+    }
+  }
+}
+
+bool LatestCheckpoint(const std::string& dir, CheckpointInfo* info) {
+  std::ifstream in(dir + "/MANIFEST");
+  if (!in) return false;
+  std::string header;
+  if (!std::getline(in, header) || header != "ptucker-checkpoint v1") {
+    throw std::runtime_error("checkpoint: bad MANIFEST header in " + dir);
+  }
+  CheckpointInfo parsed;
+  std::string file;
+  bool have_seq = false, have_file = false, have_ops = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "seq") {
+      have_seq = static_cast<bool>(fields >> parsed.seq);
+    } else if (tag == "file") {
+      have_file = static_cast<bool>(fields >> file);
+    } else if (tag == "ops") {
+      have_ops = static_cast<bool>(fields >> parsed.ops_applied);
+    } else {
+      throw std::runtime_error("checkpoint: unknown MANIFEST field '" + tag +
+                               "' in " + dir);
+    }
+  }
+  if (!have_seq || !have_file || !have_ops) {
+    throw std::runtime_error("checkpoint: incomplete MANIFEST in " + dir);
+  }
+  parsed.path = dir + "/" + file;
+  if (info != nullptr) *info = std::move(parsed);
+  return true;
+}
+
+SparseTensor ReplayOmega(const SparseTensor& initial,
+                         const std::vector<StreamEvent>& events,
+                         std::int64_t count) {
+  if (count < 0 || count > static_cast<std::int64_t>(events.size())) {
+    throw std::out_of_range("replay: count out of range");
+  }
+  SparseTensor tensor = initial;
+  const std::int64_t order = tensor.order();
+  const auto strides = ComputeStrides(tensor.dims());
+
+  std::unordered_map<std::int64_t, std::int64_t> key_to_entry;
+  key_to_entry.reserve(static_cast<std::size_t>(tensor.nnz()) * 2);
+  for (std::int64_t e = 0; e < tensor.nnz(); ++e) {
+    if (!key_to_entry.emplace(Linearize(tensor.index(e), strides, order), e)
+             .second) {
+      throw std::invalid_argument("replay: tensor has duplicate coordinates");
+    }
+  }
+
+  std::vector<std::int64_t> delete_ids;
+  for (std::int64_t n = 0; n < count; ++n) {
+    const StreamEvent& event = events[static_cast<std::size_t>(n)];
+    if (static_cast<std::int64_t>(event.index.size()) != order ||
+        !IndexInBounds(event.index.data(), tensor.dims())) {
+      throw std::invalid_argument("replay: coordinate out of bounds");
+    }
+    const std::int64_t key = Linearize(event.index.data(), strides, order);
+    const auto it = key_to_entry.find(key);
+    switch (event.op) {
+      case StreamOp::kAppend: {
+        if (it != key_to_entry.end()) {
+          throw std::invalid_argument(
+              "replay: append to an already-observed coordinate");
+        }
+        const std::int64_t id = tensor.nnz();
+        tensor.AddEntry(event.index, event.value);
+        key_to_entry.emplace(key, id);
+        break;
+      }
+      case StreamOp::kUpdate:
+        if (it == key_to_entry.end()) {
+          throw std::invalid_argument(
+              "replay: update of an unobserved coordinate");
+        }
+        tensor.set_value(it->second, event.value);
+        break;
+      case StreamOp::kDelete:
+        if (it == key_to_entry.end()) {
+          throw std::invalid_argument(
+              "replay: delete of an unobserved coordinate");
+        }
+        delete_ids.push_back(it->second);
+        key_to_entry.erase(it);
+        break;
+    }
+  }
+  if (!delete_ids.empty()) {
+    std::vector<char> remove(static_cast<std::size_t>(tensor.nnz()), 0);
+    for (const std::int64_t id : delete_ids) {
+      remove[static_cast<std::size_t>(id)] = 1;
+    }
+    tensor.RemoveEntries(remove);
+  }
+  tensor.BuildModeIndex();
+  return tensor;
+}
+
+}  // namespace ptucker

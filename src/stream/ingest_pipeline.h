@@ -1,0 +1,204 @@
+/// \file
+/// \brief The streaming ingest pipeline: online append/update/delete of
+/// Ω entries with touched-row re-solves, continuous snapshot-v2
+/// checkpoints, and atomic hot swap into a live PredictionService.
+///
+/// P-Tucker's Lemma 1 makes factor rows independent within a mode, so a
+/// changed entry at coordinate (i1..iN) only invalidates row i_n of each
+/// factor A(n) — the pipeline buffers mutations, applies them to Ω in
+/// arrival order, and re-solves exactly those rows through the shared
+/// batched row update (core/row_update.h). Every flush is deterministic:
+/// the resulting factors depend only on (initial state, event prefix,
+/// options), never on thread count or flush timing, which is what makes
+/// crash recovery bit-exact (replay the tail from the last durable
+/// checkpoint and land on the same factors). See docs/streaming.md.
+#ifndef PTUCKER_STREAM_INGEST_PIPELINE_H_
+#define PTUCKER_STREAM_INGEST_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/delta_engine.h"
+#include "core/ptucker.h"
+#include "serve/service.h"
+#include "stream/event_log.h"
+#include "tensor/sparse_tensor.h"
+
+namespace ptucker {
+
+/// Configuration of an IngestPipeline.
+struct IngestOptions {
+  /// L2 regularization λ of the row re-solves (matches the solve that
+  /// produced the initial model).
+  double lambda = 0.01;
+
+  /// δ-engine for the re-solves. kAuto picks kModeMajor. kCached
+  /// rebuilds its Pres table whenever Ω changes structurally (the table
+  /// is keyed by entry ids).
+  DeltaEngineChoice delta_engine = DeltaEngineChoice::kAuto;
+
+  /// ε of kAdaptive (exact at 0) and tile width of kTiled.
+  double adaptive_epsilon = 0.0;
+  std::int64_t tile_width = kDefaultTileWidth;
+
+  /// OpenMP environment of the re-solves (0 threads = ambient).
+  int num_threads = 0;
+  Scheduling scheduling = Scheduling::kDynamic;
+
+  /// Row-update sweeps over the touched rows per flush. One pass is the
+  /// pure incremental step; more passes trade latency for accuracy.
+  int solve_passes = 1;
+
+  /// Buffered mutations before a flush applies them and re-solves. 1
+  /// flushes every mutation immediately.
+  std::int64_t flush_every = 64;
+
+  /// Applied-mutation count between automatic checkpoints; 0 disables
+  /// them (Checkpoint() can still be called explicitly). Checkpoints
+  /// fire when ops_applied() crosses a multiple of this, so the cadence
+  /// — and therefore the recovery cadence — is a pure function of the
+  /// event prefix. Keep it a multiple of flush_every so boundaries land
+  /// on flushes.
+  std::int64_t checkpoint_every = 0;
+
+  /// Directory for `ckpt-<seq>.ptks` snapshot-v2 files and the MANIFEST.
+  /// Empty publishes in-memory snapshots only (nothing durable).
+  std::string checkpoint_dir;
+
+  /// When set, every checkpoint is published here via atomic hot reload
+  /// (from the checkpoint file when checkpoint_dir is set, else from an
+  /// in-memory copy of the model).
+  PredictionService* service = nullptr;
+
+  /// Fault-injection hook for crash tests: runs after the checkpoint
+  /// file and MANIFEST are durable but before the snapshot is published.
+  /// Throwing from it simulates a crash in that window.
+  std::function<void()> fault_hook;
+
+  /// Memory accounting for the engine's derived state (may be null).
+  MemoryTracker* tracker = nullptr;
+
+  /// Mutation count already folded into the initial model — set when
+  /// resuming from a checkpoint's MANIFEST so the checkpoint cadence
+  /// continues where the crashed run left off.
+  std::int64_t ops_already_applied = 0;
+};
+
+/// A durable checkpoint as recorded in a checkpoint directory MANIFEST.
+struct CheckpointInfo {
+  std::int64_t seq = 0;          ///< checkpoint sequence number
+  std::string path;              ///< the snapshot-v2 file
+  std::int64_t ops_applied = 0;  ///< mutations folded in at write time
+};
+
+/// Accepts append/update/delete mutations of Ω, re-solves only the
+/// touched factor rows per mode, checkpoints the model to snapshot v2,
+/// and hot-swaps each checkpoint into a PredictionService. Not
+/// thread-safe: mutations come from one writer thread (readers query the
+/// service, which is lock-free against the swap).
+///
+/// Mutation semantics are strict — Append of a live coordinate, or
+/// Update/Delete of an unobserved one, throws std::invalid_argument and
+/// leaves the pipeline unchanged (duplicate Ω coordinates would silently
+/// double-count in every engine).
+class IngestPipeline {
+ public:
+  /// Takes ownership of the tensor (the live Ω) and the model fitted to
+  /// it. The tensor's coordinates must be unique; its mode index is
+  /// (re)built here. Throws std::invalid_argument on shape mismatch
+  /// between model and tensor or on duplicate coordinates.
+  IngestPipeline(SparseTensor tensor, TuckerFactorization model,
+                 IngestOptions options);
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;             ///< has refs
+  IngestPipeline& operator=(const IngestPipeline&) = delete;  ///< has refs
+
+  /// Buffers a new observation at an unobserved coordinate.
+  void Append(const std::vector<std::int64_t>& index, double value);
+  /// Buffers a new value for a live coordinate.
+  void Update(const std::vector<std::int64_t>& index, double value);
+  /// Buffers removal of a live coordinate from Ω.
+  void Delete(const std::vector<std::int64_t>& index);
+  /// Dispatches one replay-log event to Append/Update/Delete.
+  void Apply(const StreamEvent& event);
+
+  /// Applies every buffered mutation to Ω in arrival order, re-solves
+  /// the touched factor rows (solve_passes sweeps per mode, modes in
+  /// order), and fires any checkpoint whose boundary was crossed. No-op
+  /// when nothing is buffered. Called automatically when the buffer
+  /// reaches flush_every.
+  void Flush();
+
+  /// Flushes, then writes the next checkpoint (file + MANIFEST when
+  /// checkpoint_dir is set, durable via temp-file + rename), runs the
+  /// fault hook, and publishes to the service. Automatic checkpoints
+  /// number themselves ops_applied() / checkpoint_every so a resumed run
+  /// continues the sequence; explicit calls take the next number.
+  /// Returns the checkpoint's sequence number.
+  std::int64_t Checkpoint();
+
+  /// The live Ω (buffered mutations not yet folded in).
+  const SparseTensor& tensor() const { return tensor_; }
+  /// The live model (buffered mutations not yet folded in).
+  const TuckerFactorization& model() const { return model_; }
+  /// Mutations applied to Ω so far (including ops_already_applied).
+  std::int64_t ops_applied() const { return ops_applied_; }
+  /// Mutations buffered but not yet applied.
+  std::int64_t pending() const {
+    return static_cast<std::int64_t>(pending_.size());
+  }
+  /// Checkpoints written by this pipeline (not counting a resumed-from
+  /// run's — but sequence numbers continue from ops_already_applied).
+  std::int64_t checkpoints_written() const { return checkpoints_written_; }
+
+ private:
+  void ValidateIndex(const std::vector<std::int64_t>& index) const;
+  void RebuildKeyMap();
+  void RebuildEngine();
+  void SolveTouchedRows(const std::vector<std::vector<std::int64_t>>& rows);
+  void WriteCheckpoint(std::int64_t seq);
+
+  SparseTensor tensor_;
+  TuckerFactorization model_;
+  IngestOptions options_;
+  DeltaEngineChoice engine_choice_;  // resolved, never kAuto
+
+  std::vector<std::int64_t> strides_;
+  // Linearized coordinate → live entry id in tensor_. Reflects applied
+  // state only; live_ below also covers buffered mutations.
+  std::unordered_map<std::int64_t, std::int64_t> key_to_entry_;
+  // Linearized coordinates observed after all buffered mutations run —
+  // what Append/Update/Delete validate against.
+  std::unordered_map<std::int64_t, char> live_;
+
+  std::vector<StreamEvent> pending_;
+  std::int64_t ops_applied_ = 0;
+  std::int64_t checkpoints_written_ = 0;
+  std::int64_t next_seq_ = 0;  // last sequence number handed out
+
+  std::unique_ptr<CoreEntryList> core_list_;
+  std::unique_ptr<DeltaEngine> engine_;
+};
+
+/// Reads the MANIFEST in `dir` into `info`. Returns false when no
+/// MANIFEST exists; throws std::runtime_error on a malformed one.
+bool LatestCheckpoint(const std::string& dir, CheckpointInfo* info);
+
+/// Structurally replays `events[0..count)` onto a copy of `initial`
+/// (no solving): appends add, updates overwrite, deletes remove. The
+/// result has its mode index built — it is the Ω a pipeline that applied
+/// the same prefix holds. Throws std::invalid_argument on a mutation
+/// that violates the strict semantics, std::out_of_range when count
+/// exceeds events.size().
+SparseTensor ReplayOmega(const SparseTensor& initial,
+                         const std::vector<StreamEvent>& events,
+                         std::int64_t count);
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_STREAM_INGEST_PIPELINE_H_

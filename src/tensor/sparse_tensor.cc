@@ -30,6 +30,29 @@ void SparseTensor::AddEntry(const std::vector<std::int64_t>& index,
   AddEntry(index.data(), value);
 }
 
+std::int64_t SparseTensor::RemoveEntries(const std::vector<char>& remove) {
+  PTUCKER_CHECK(static_cast<std::int64_t>(remove.size()) == nnz());
+  const std::int64_t n_modes = order();
+  const std::int64_t entries = nnz();
+  std::int64_t kept = 0;
+  for (std::int64_t e = 0; e < entries; ++e) {
+    if (remove[static_cast<std::size_t>(e)]) continue;
+    if (kept != e) {
+      for (std::int64_t m = 0; m < n_modes; ++m) {
+        indices_[static_cast<std::size_t>(kept * n_modes + m)] =
+            indices_[static_cast<std::size_t>(e * n_modes + m)];
+      }
+      values_[static_cast<std::size_t>(kept)] =
+          values_[static_cast<std::size_t>(e)];
+    }
+    ++kept;
+  }
+  indices_.resize(static_cast<std::size_t>(kept * n_modes));
+  values_.resize(static_cast<std::size_t>(kept));
+  mode_index_built_ = false;
+  return entries - kept;
+}
+
 double SparseTensor::FrobeniusNorm() const {
   double sum = 0.0;
   for (double v : values_) sum += v * v;

@@ -64,6 +64,12 @@ class SparseTensor {
 
   const std::vector<double>& values() const { return values_; }
 
+  /// Compacts out every entry `e` with `remove[e] != 0`, preserving the
+  /// relative order of the survivors (entry ids shift down). `remove`
+  /// must have `nnz()` flags. Invalidates the mode index. Returns the
+  /// number of entries removed.
+  std::int64_t RemoveEntries(const std::vector<char>& remove);
+
   /// √(Σ x²) over observed entries (Definition 1 restricted to Ω).
   double FrobeniusNorm() const;
 

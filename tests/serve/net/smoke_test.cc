@@ -106,13 +106,14 @@ TEST_F(ServeNetSmokeTest, FullOpcodeSurfaceOverRealSockets) {
             static_cast<std::size_t>(dims_[2]));
 
   const std::vector<std::uint64_t> counters = client.Stats();
-  ASSERT_EQ(counters.size(), 9u);  // ServerStats::ToVector order
-  EXPECT_GE(counters[0], 1u);      // connections_accepted
-  EXPECT_GE(counters[1], 55u);     // requests_received
-  EXPECT_GE(counters[2], 50u);     // predicts_served
-  EXPECT_GE(counters[3], 4u);      // topks_served
-  EXPECT_GE(counters[4], 1u);      // pings_served
-  EXPECT_GE(counters[6], 1u);      // batches_executed
+  ASSERT_EQ(counters.size(), 10u);  // ServerStats::ToVector order
+  EXPECT_GE(counters[0], 1u);       // connections_accepted
+  EXPECT_GE(counters[1], 55u);      // requests_received
+  EXPECT_GE(counters[2], 50u);      // predicts_served
+  EXPECT_GE(counters[3], 4u);       // topks_served
+  EXPECT_GE(counters[4], 1u);       // pings_served
+  EXPECT_GE(counters[6], 1u);       // batches_executed
+  EXPECT_EQ(counters[9], 0u);       // overloads_shed: nothing parked here
 
   server.Stop();
 }

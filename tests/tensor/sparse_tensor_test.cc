@@ -124,5 +124,38 @@ TEST_P(ModeIndexSweep, RandomTensorPartition) {
 INSTANTIATE_TEST_SUITE_P(Orders, ModeIndexSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
+TEST(SparseTensorTest, RemoveEntriesCompactsInOrder) {
+  SparseTensor t = MakeSmall();
+  t.BuildModeIndex();
+  // Drop entries 1 and 3; survivors keep their relative order with ids
+  // shifted down.
+  const std::vector<char> remove = {0, 1, 0, 1};
+  EXPECT_EQ(t.RemoveEntries(remove), 2);
+  ASSERT_EQ(t.nnz(), 2);
+  EXPECT_EQ(t.value(0), 1.0);
+  EXPECT_EQ(t.index(0, 0), 0);
+  EXPECT_EQ(t.value(1), 0.5);
+  EXPECT_EQ(t.index(1, 0), 2);
+  // The mode index is invalidated, and rebuilding it sees only the
+  // survivors.
+  EXPECT_FALSE(t.has_mode_index());
+  t.BuildModeIndex();
+  EXPECT_EQ(t.SliceSize(0, 1), 0);  // both mode-0=1 entries removed
+  EXPECT_EQ(t.SliceSize(0, 2), 1);
+}
+
+TEST(SparseTensorTest, RemoveEntriesEdgeCases) {
+  SparseTensor t = MakeSmall();
+  EXPECT_EQ(t.RemoveEntries(std::vector<char>(4, 0)), 0);  // no-op
+  EXPECT_EQ(t.nnz(), 4);
+  EXPECT_EQ(t.RemoveEntries(std::vector<char>(4, 1)), 4);  // remove all
+  EXPECT_EQ(t.nnz(), 0);
+}
+
+TEST(SparseTensorDeathTest, RemoveEntriesFlagCountMustMatchNnz) {
+  SparseTensor t = MakeSmall();
+  EXPECT_DEATH(t.RemoveEntries(std::vector<char>(3, 0)), "CHECK failed");
+}
+
 }  // namespace
 }  // namespace ptucker

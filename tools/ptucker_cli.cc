@@ -6,6 +6,8 @@
 //   topk           top-K completions along one mode from a saved snapshot
 //   convert-model  rewrite a snapshot as format v2 with IVF centroids
 //   serve          serve a snapshot over TCP (epoll + batch coalescing)
+//   gen-stream     write a simulated tensor + timestamped event stream
+//   replay         stream an event log through the ingest pipeline
 //
 // Typical usage:
 //   ptucker_cli --input ratings.tns --ranks 10,10,5 --output-dir model/
@@ -65,6 +67,23 @@
 //   --queue-capacity Q    serve: bounded request queue, >= --max-batch
 //   --serve-seconds S     serve: stop after S seconds (0 = run forever,
 //                         the default; [0, 86400])
+//   --overload-timeout-ms D  serve: shed a request parked on a full queue
+//                         after D ms with an OVERLOADED reply; -1 (the
+//                         default) parks forever behind TCP backpressure,
+//                         0 sheds immediately ([-1, 3600000])
+//   --output-tensor PATH  gen-stream: the initial tensor (.tns)
+//   --events PATH         gen-stream: event log to write;
+//                         replay: event log to play back
+//   --num-events N        gen-stream: mutations after the initial load
+//   --update-fraction F   gen-stream: P(event re-rates a live entry)
+//   --delete-fraction F   gen-stream: P(event deletes a live entry)
+//   --max-timestamp-step N  gen-stream: max timestamp gap between events
+//   --flush-every N       replay: buffered mutations per flush (>= 1)
+//   --checkpoint-every N  replay: applied mutations between automatic
+//                         checkpoints (0 = only the final one)
+//   --checkpoint-dir DIR  replay: durable ckpt-<seq>.ptks + MANIFEST
+//                         directory; an existing MANIFEST there resumes
+//                         the replay from its checkpoint
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -86,10 +105,13 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "linalg/matrix_io.h"
+#include "data/movielens_sim.h"
 #include "serve/net/server.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_v2.h"
+#include "stream/event_log.h"
+#include "stream/ingest_pipeline.h"
 #include "tensor/io.h"
 #include "util/format.h"
 #include "util/random.h"
@@ -115,6 +137,12 @@ constexpr SubcommandDescriptor kSubcommands[] = {
     {"serve",
      "serve --load-model over TCP: epoll loops + cross-client batch "
      "coalescing (docs/serving.md)"},
+    {"gen-stream",
+     "simulate a tensor (--output-tensor) + timestamped event stream "
+     "(--events)"},
+    {"replay",
+     "stream --events through the ingest pipeline over --input + "
+     "--load-model (docs/streaming.md)"},
 };
 
 std::string SubcommandNames() {
@@ -162,6 +190,16 @@ struct CliConfig {
   std::int64_t serve_batch_window_us = 100;
   std::int64_t serve_queue_capacity = 8192;
   std::int64_t serve_seconds = 0;  // 0 = run until killed
+  std::int64_t serve_overload_timeout_ms = -1;  // -1 = park forever
+  std::string output_tensor;                    // gen-stream
+  std::string events;                           // gen-stream + replay
+  std::int64_t stream_num_events = 5000;
+  double stream_update_fraction = 0.2;
+  double stream_delete_fraction = 0.1;
+  std::int64_t stream_max_timestamp_step = 1000;
+  std::int64_t flush_every = 64;       // replay
+  std::int64_t checkpoint_every = 0;   // replay; 0 = final only
+  std::string checkpoint_dir;          // replay
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -184,6 +222,14 @@ void PrintUsageAndExit() {
       "                  [--worker-threads N] [--max-batch B] "
       "[--batch-window-us U]\n"
       "                  [--queue-capacity Q] [--serve-seconds S]\n"
+      "                  [--overload-timeout-ms D]\n"
+      "       ptucker_cli gen-stream --output-tensor X.tns --events E.log\n"
+      "                  [--num-events N] [--update-fraction F]\n"
+      "                  [--delete-fraction F] [--max-timestamp-step N]\n"
+      "       ptucker_cli replay --input X.tns --load-model M.ptks "
+      "--events E.log\n"
+      "                  [--flush-every N] [--checkpoint-every N]\n"
+      "                  [--checkpoint-dir DIR] [--save-model OUT.ptks]\n"
       "       ptucker_cli --selftest\n\n");
   // Subcommand list generated from the same table the dispatcher uses.
   std::printf("subcommands (first argument; default decompose):\n");
@@ -213,7 +259,12 @@ void PrintUsageAndExit() {
       "          --index i1,... --k K --topk-nprobe N|all\n"
       "serving:  --port --listen-threads --worker-threads --max-batch\n"
       "          --batch-window-us --queue-capacity --serve-seconds\n"
+      "          --overload-timeout-ms\n"
       "          (wire protocol and semantics: docs/serving.md)\n"
+      "stream:   --output-tensor --events --num-events --update-fraction\n"
+      "          --delete-fraction --max-timestamp-step --flush-every\n"
+      "          --checkpoint-every --checkpoint-dir\n"
+      "          (ingest pipeline and replay format: docs/streaming.md)\n"
       "flags accept both '--flag value' and '--flag=value'\n");
   std::exit(0);
 }
@@ -353,6 +404,24 @@ CliConfig ParseArgs(int argc, char** argv) {
       config.serve_queue_capacity = std::stoll(need_value(i));
     else if (arg == "--serve-seconds")
       config.serve_seconds = std::stoll(need_value(i));
+    else if (arg == "--overload-timeout-ms")
+      config.serve_overload_timeout_ms = std::stoll(need_value(i));
+    else if (arg == "--output-tensor") config.output_tensor = need_value(i);
+    else if (arg == "--events") config.events = need_value(i);
+    else if (arg == "--num-events")
+      config.stream_num_events = std::stoll(need_value(i));
+    else if (arg == "--update-fraction")
+      config.stream_update_fraction = std::stod(need_value(i));
+    else if (arg == "--delete-fraction")
+      config.stream_delete_fraction = std::stod(need_value(i));
+    else if (arg == "--max-timestamp-step")
+      config.stream_max_timestamp_step = std::stoll(need_value(i));
+    else if (arg == "--flush-every")
+      config.flush_every = std::stoll(need_value(i));
+    else if (arg == "--checkpoint-every")
+      config.checkpoint_every = std::stoll(need_value(i));
+    else if (arg == "--checkpoint-dir")
+      config.checkpoint_dir = need_value(i);
     else Fail("unknown flag: " + arg);
     if (has_inline_value) Fail("flag does not take a value: " + arg);
   }
@@ -400,6 +469,35 @@ CliConfig ParseArgs(int argc, char** argv) {
   if (config.serve_seconds < 0 || config.serve_seconds > 86400) {
     Fail("--serve-seconds must be in [0, 86400], got " +
          std::to_string(config.serve_seconds));
+  }
+  if (config.serve_overload_timeout_ms < -1 ||
+      config.serve_overload_timeout_ms > 3600000) {
+    Fail("--overload-timeout-ms must be in [-1, 3600000], got " +
+         std::to_string(config.serve_overload_timeout_ms));
+  }
+  // Stream knobs: same boundary-validation discipline as the serving
+  // flags above — the library would throw, the CLI names the flag.
+  if (config.stream_num_events < 0) {
+    Fail("--num-events must be >= 0, got " +
+         std::to_string(config.stream_num_events));
+  }
+  if (config.stream_update_fraction < 0.0 ||
+      config.stream_delete_fraction < 0.0 ||
+      config.stream_update_fraction + config.stream_delete_fraction > 1.0) {
+    Fail("--update-fraction and --delete-fraction must be >= 0 and sum "
+         "to <= 1");
+  }
+  if (config.stream_max_timestamp_step < 0) {
+    Fail("--max-timestamp-step must be >= 0, got " +
+         std::to_string(config.stream_max_timestamp_step));
+  }
+  if (config.flush_every < 1) {
+    Fail("--flush-every must be >= 1, got " +
+         std::to_string(config.flush_every));
+  }
+  if (config.checkpoint_every < 0) {
+    Fail("--checkpoint-every must be >= 0, got " +
+         std::to_string(config.checkpoint_every));
   }
   return config;
 }
@@ -519,6 +617,7 @@ int RunServe(const CliConfig& config) {
   options.max_batch = config.serve_max_batch;
   options.batch_window_us = config.serve_batch_window_us;
   options.queue_capacity = config.serve_queue_capacity;
+  options.overload_timeout_ms = config.serve_overload_timeout_ms;
   NetServer server(service, options);
   server.Start();
   std::printf("serving on port %d (%d loops, %d workers, max batch %lld, "
@@ -542,6 +641,134 @@ int RunServe(const CliConfig& config) {
   while (true) {
     std::this_thread::sleep_for(std::chrono::hours(1));
   }
+}
+
+// gen-stream: write a simulated MovieLens-style tensor plus the
+// timestamped append/update/delete event stream that mutates it — the
+// inputs replay and bench_streaming consume. Deterministic in --seed.
+int RunGenStream(const CliConfig& config) {
+  if (config.output_tensor.empty()) {
+    Fail("gen-stream requires --output-tensor PATH (.tns)");
+  }
+  if (config.events.empty()) {
+    Fail("gen-stream requires --events PATH (the replay log)");
+  }
+  MovieLensStreamConfig stream_config;
+  stream_config.num_events = config.stream_num_events;
+  stream_config.update_fraction = config.stream_update_fraction;
+  stream_config.delete_fraction = config.stream_delete_fraction;
+  stream_config.max_timestamp_step = config.stream_max_timestamp_step;
+  stream_config.seed = config.seed;
+  const MovieLensStream stream = SimulateMovieLensStream(stream_config);
+  WriteTns(config.output_tensor, stream.initial.tensor);
+  WriteEventLog(config.events, stream.events,
+                stream.initial.tensor.order());
+  std::printf("initial tensor: %s (%s, %lld entries)\n",
+              config.output_tensor.c_str(),
+              JoinInts(stream.initial.tensor.dims(), "x").c_str(),
+              static_cast<long long>(stream.initial.tensor.nnz()));
+  std::printf("event stream:   %s (%lld events)\n", config.events.c_str(),
+              static_cast<long long>(stream.events.size()));
+  return 0;
+}
+
+// replay: stream an event log through the ingest pipeline over the
+// stream's initial tensor and a model fitted to it. With
+// --checkpoint-dir the run is durable and resumable: an existing
+// MANIFEST there restarts from its checkpoint and replays only the tail
+// — landing on the same factors as an uninterrupted run.
+int RunReplay(const CliConfig& config) {
+  if (config.input.empty()) {
+    Fail("replay requires --input PATH (the stream's initial tensor)");
+  }
+  if (config.load_model.empty()) {
+    Fail("replay requires --load-model PATH (a model fitted to --input)");
+  }
+  if (config.events.empty()) {
+    Fail("replay requires --events PATH (see gen-stream)");
+  }
+  SparseTensor initial = ReadTns(config.input);
+  initial.BuildModeIndex();
+  std::int64_t order = 0;
+  const std::vector<StreamEvent> events =
+      ReadEventLog(config.events, &order);
+  if (order != initial.order()) {
+    Fail("--events order " + std::to_string(order) +
+         " does not match the --input tensor's " +
+         std::to_string(initial.order()));
+  }
+
+  IngestOptions options;
+  options.lambda = config.lambda;
+  const DeltaEngineDescriptor* engine =
+      FindDeltaEngineByName(config.delta_engine);
+  if (engine == nullptr) {
+    Fail("unknown --delta-engine: " + config.delta_engine);
+  }
+  options.delta_engine = engine->choice;
+  options.adaptive_epsilon = config.adaptive_eps;
+  options.tile_width = config.tile_width;
+  options.num_threads = config.threads;
+  options.flush_every = config.flush_every;
+  options.checkpoint_every = config.checkpoint_every;
+  options.checkpoint_dir = config.checkpoint_dir;
+
+  // Resume: a MANIFEST in the checkpoint directory names the last
+  // durable state — skip the events it already folded in.
+  TuckerFactorization model;
+  std::int64_t skip = 0;
+  CheckpointInfo resume;
+  if (!config.checkpoint_dir.empty() &&
+      LatestCheckpoint(config.checkpoint_dir, &resume)) {
+    if (resume.ops_applied > static_cast<std::int64_t>(events.size())) {
+      Fail("checkpoint MANIFEST claims " +
+           std::to_string(resume.ops_applied) +
+           " events applied but --events has only " +
+           std::to_string(events.size()));
+    }
+    model = LoadSnapshot(resume.path);
+    skip = resume.ops_applied;
+    initial = ReplayOmega(initial, events, skip);
+    options.ops_already_applied = skip;
+    std::printf("resuming from checkpoint %lld (%lld events already "
+                "applied)\n",
+                static_cast<long long>(resume.seq),
+                static_cast<long long>(skip));
+  } else {
+    model = LoadSnapshot(config.load_model);
+  }
+
+  IngestPipeline pipeline(std::move(initial), std::move(model),
+                          std::move(options));
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t e = static_cast<std::size_t>(skip); e < events.size();
+       ++e) {
+    pipeline.Apply(events[e]);
+  }
+  // Durable runs end with an explicit checkpoint so the MANIFEST covers
+  // the whole log; in-memory runs just fold in the tail.
+  if (config.checkpoint_dir.empty()) {
+    pipeline.Flush();
+  } else {
+    pipeline.Checkpoint();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const std::int64_t replayed =
+      static_cast<std::int64_t>(events.size()) - skip;
+  std::printf("replayed %lld events in %.3fs (%.0f events/s): Omega now "
+              "%lld entries, %lld checkpoints\n",
+              static_cast<long long>(replayed), seconds,
+              seconds > 0.0 ? static_cast<double>(replayed) / seconds : 0.0,
+              static_cast<long long>(pipeline.tensor().nnz()),
+              static_cast<long long>(pipeline.checkpoints_written()));
+  if (!config.save_model.empty()) {
+    SaveSnapshotV2(config.save_model, pipeline.model(),
+                   /*with_centroids=*/true);
+    std::printf("final model written to %s\n", config.save_model.c_str());
+  }
+  return 0;
 }
 
 // convert-model: parse any supported snapshot and rewrite it as v2 with
@@ -725,6 +952,8 @@ int main(int argc, char** argv) {
     if (config.subcommand == "topk") return RunTopk(config);
     if (config.subcommand == "convert-model") return RunConvertModel(config);
     if (config.subcommand == "serve") return RunServe(config);
+    if (config.subcommand == "gen-stream") return RunGenStream(config);
+    if (config.subcommand == "replay") return RunReplay(config);
     return Run(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ptucker_cli: error: %s\n", e.what());
