@@ -10,37 +10,127 @@ namespace ptucker {
 
 namespace {
 
-// y = P g (length |Ω|), streaming entries in parallel (independent rows).
-void ApplyDesign(const SparseTensor& x, const DeltaEngine& engine,
-                 const std::vector<double>& g, std::vector<double>* y) {
-#pragma omp parallel for schedule(static)
-  for (std::int64_t e = 0; e < x.nnz(); ++e) {
-    (*y)[static_cast<std::size_t>(e)] = engine.DesignDot(x.index(e), g.data());
-  }
-}
-
-// z = Pᵀ y (length |G|), per-thread accumulation merged in thread order
-// (deterministic, per the ROADMAP determinism note).
-void ApplyDesignTransposed(const SparseTensor& x, const DeltaEngine& engine,
-                           const std::vector<double>& y,
-                           std::vector<double>* z) {
-  DeterministicParallelVectorSum(
-      x.nnz(), z->size(), z->data(), [&] {
-        return [&engine, &x, &y](std::int64_t e, double* local) {
-          const double scale = y[static_cast<std::size_t>(e)];
-          if (scale == 0.0) return;
-          engine.DesignAccumulate(x.index(e), scale, local);
-        };
-      });
-}
-
 double VecDot(const std::vector<double>& a, const std::vector<double>& b) {
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
   return sum;
 }
 
+// Local CoreCgMatVec: lane partials over every reduction lane, folded in
+// lane order — the exact arithmetic the distributed coordinator
+// reproduces by gathering the same lanes from its workers.
+class LocalCoreMatVec : public CoreCgMatVec {
+ public:
+  LocalCoreMatVec(const SparseTensor& x, const DeltaEngine& engine,
+                  std::size_t width)
+      : x_(&x),
+        engine_(&engine),
+        width_(width),
+        lane_sums_(static_cast<std::size_t>(kReductionLanes) * width) {}
+
+  void ResidualBase(const std::vector<double>& g,
+                    std::vector<double>* z) override {
+    Product(/*residual_from_x=*/true, g, z);
+  }
+
+  void NormalProduct(const std::vector<double>& d,
+                     std::vector<double>* z) override {
+    Product(/*residual_from_x=*/false, d, z);
+  }
+
+ private:
+  void Product(bool residual_from_x, const std::vector<double>& input,
+               std::vector<double>* z) {
+    DesignLanePartials(*x_, *engine_, residual_from_x, input, 0,
+                       kReductionLanes, lane_sums_.data());
+    z->resize(width_);
+    FoldVectorLaneSums(lane_sums_.data(), kReductionLanes, width_, z->data());
+  }
+
+  const SparseTensor* x_;
+  const DeltaEngine* engine_;
+  std::size_t width_;
+  std::vector<double> lane_sums_;
+};
+
 }  // namespace
+
+void DesignLanePartials(const SparseTensor& x, const DeltaEngine& engine,
+                        bool residual_from_x, const std::vector<double>& input,
+                        std::int64_t lane_begin, std::int64_t lane_end,
+                        double* lane_sums) {
+  struct Worker {
+    const SparseTensor* x;
+    const DeltaEngine* engine;
+    const double* input;
+    bool residual_from_x;
+    void operator()(std::int64_t e, double* local) {
+      double y = engine->DesignDot(x->index(e), input);
+      if (residual_from_x) y = x->value(e) - y;
+      if (y == 0.0) return;
+      engine->DesignAccumulate(x->index(e), y, local);
+    }
+    void Flush(double* /*local*/) {}
+  };
+  DeterministicParallelVectorLaneSums(
+      x.nnz(), input.size(), lane_begin, lane_end, lane_sums,
+      [&] { return Worker{&x, &engine, input.data(), residual_from_x}; });
+}
+
+void RunCoreCg(CoreCgMatVec* matvec, double lambda, int cg_iterations,
+               std::vector<double>* g) {
+  PTUCKER_CHECK(matvec != nullptr && g != nullptr);
+  const std::size_t core_count = g->size();
+  if (core_count == 0 || cg_iterations <= 0) return;
+
+  // r = Pᵀ(x − P g) − λ g  (negative gradient of the objective / 2).
+  std::vector<double> residual;
+  matvec->ResidualBase(*g, &residual);
+  for (std::size_t b = 0; b < core_count; ++b) {
+    residual[b] -= lambda * (*g)[b];
+  }
+
+  std::vector<double> direction = residual;
+  std::vector<double> q;
+  double rho = VecDot(residual, residual);
+  const double threshold = std::max(rho * 1e-16, 1e-28);
+
+  for (int step = 0; step < cg_iterations && rho > threshold; ++step) {
+    // q = (PᵀP + λI) d.
+    matvec->NormalProduct(direction, &q);
+    for (std::size_t b = 0; b < core_count; ++b) {
+      q[b] += lambda * direction[b];
+    }
+    const double curvature = VecDot(direction, q);
+    if (curvature <= 0.0) break;
+    const double alpha = rho / curvature;
+    for (std::size_t b = 0; b < core_count; ++b) {
+      (*g)[b] += alpha * direction[b];
+      residual[b] -= alpha * q[b];
+    }
+    const double rho_next = VecDot(residual, residual);
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::size_t b = 0; b < core_count; ++b) {
+      direction[b] = residual[b] + beta * direction[b];
+    }
+  }
+}
+
+void StoreCoreValues(const std::vector<double>& g, DenseTensor* core,
+                     CoreEntryList* core_list) {
+  PTUCKER_CHECK(core != nullptr && core_list != nullptr);
+  PTUCKER_CHECK(static_cast<std::int64_t>(g.size()) == core_list->size());
+  std::vector<std::int64_t> index(static_cast<std::size_t>(core->order()));
+  for (std::int64_t b = 0; b < core_list->size(); ++b) {
+    const std::int32_t* beta = core_list->index(b);
+    for (std::int64_t k = 0; k < core->order(); ++k) {
+      index[static_cast<std::size_t>(k)] = beta[k];
+    }
+    core->at(index.data()) = g[static_cast<std::size_t>(b)];
+  }
+  core_list->RefreshValues(*core);
+}
 
 void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
                       CoreEntryList* core_list,
@@ -50,7 +140,6 @@ void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
   const std::int64_t n_core = core_list->size();
   if (n_core == 0 || cg_iterations <= 0) return;
   const std::size_t core_count = static_cast<std::size_t>(n_core);
-  const std::size_t entry_count = static_cast<std::size_t>(x.nnz());
   const NaiveDeltaEngine fallback(*core_list, factors);
   const DeltaEngine& design = engine != nullptr ? *engine : fallback;
 
@@ -61,54 +150,9 @@ void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
     g[static_cast<std::size_t>(b)] = core_list->value(b);
   }
 
-  // r = Pᵀ(x − P g) − λ g  (negative gradient of the objective / 2).
-  std::vector<double> work_entries(entry_count);
-  ApplyDesign(x, design, g, &work_entries);
-  for (std::int64_t e = 0; e < x.nnz(); ++e) {
-    work_entries[static_cast<std::size_t>(e)] =
-        x.value(e) - work_entries[static_cast<std::size_t>(e)];
-  }
-  std::vector<double> residual(core_count);
-  ApplyDesignTransposed(x, design, work_entries, &residual);
-  for (std::size_t b = 0; b < core_count; ++b) residual[b] -= lambda * g[b];
-
-  std::vector<double> direction = residual;
-  std::vector<double> q(core_count);
-  double rho = VecDot(residual, residual);
-  const double threshold = std::max(rho * 1e-16, 1e-28);
-
-  for (int step = 0; step < cg_iterations && rho > threshold; ++step) {
-    // q = (PᵀP + λI) d.
-    ApplyDesign(x, design, direction, &work_entries);
-    ApplyDesignTransposed(x, design, work_entries, &q);
-    for (std::size_t b = 0; b < core_count; ++b) {
-      q[b] += lambda * direction[b];
-    }
-    const double curvature = VecDot(direction, q);
-    if (curvature <= 0.0) break;
-    const double alpha = rho / curvature;
-    for (std::size_t b = 0; b < core_count; ++b) {
-      g[b] += alpha * direction[b];
-      residual[b] -= alpha * q[b];
-    }
-    const double rho_next = VecDot(residual, residual);
-    const double beta = rho_next / rho;
-    rho = rho_next;
-    for (std::size_t b = 0; b < core_count; ++b) {
-      direction[b] = residual[b] + beta * direction[b];
-    }
-  }
-
-  // Write back through the list's indices, then refresh the list.
-  std::vector<std::int64_t> index(static_cast<std::size_t>(core->order()));
-  for (std::int64_t b = 0; b < n_core; ++b) {
-    const std::int32_t* beta = core_list->index(b);
-    for (std::int64_t k = 0; k < core->order(); ++k) {
-      index[static_cast<std::size_t>(k)] = beta[k];
-    }
-    core->at(index.data()) = g[static_cast<std::size_t>(b)];
-  }
-  core_list->RefreshValues(*core);
+  LocalCoreMatVec matvec(x, design, core_count);
+  RunCoreCg(&matvec, lambda, cg_iterations, &g);
+  StoreCoreValues(g, core, core_list);
 }
 
 }  // namespace ptucker

@@ -40,6 +40,56 @@ void UpdateCoreTensor(const SparseTensor& x, DenseTensor* core,
                       const std::vector<Matrix>& factors, double lambda,
                       int cg_iterations, const DeltaEngine* engine = nullptr);
 
+/// Matrix-free operator behind the core CG loop: the two design-matrix
+/// products RunCoreCg needs per solve. The local implementation computes
+/// lane partials over all reduction lanes and folds them; the
+/// distributed coordinator broadcasts the input vector, gathers each
+/// worker's lane partials, and folds the same lanes in the same order —
+/// so both implementations hand CG bit-identical vectors.
+class CoreCgMatVec {
+ public:
+  virtual ~CoreCgMatVec() = default;
+
+  /// z = Pᵀ(x − P g): the residual base of the warm-started CG solve
+  /// (the caller subtracts the λg regularization term itself).
+  virtual void ResidualBase(const std::vector<double>& g,
+                            std::vector<double>* z) = 0;
+
+  /// z = Pᵀ(P d): the normal-equations product of a CG direction
+  /// (the caller adds the λd term itself).
+  virtual void NormalProduct(const std::vector<double>& d,
+                             std::vector<double>* z) = 0;
+};
+
+/// The conjugate-gradient loop of UpdateCoreTensor, extracted so the
+/// single-process and multi-process solvers run the exact same control
+/// flow and scalar arithmetic (step counts, curvature guard, stopping
+/// threshold max(ρ₀·1e-16, 1e-28)) against any CoreCgMatVec. Starts
+/// from `*g` (warm start) and leaves the final iterate in `*g`.
+void RunCoreCg(CoreCgMatVec* matvec, double lambda, int cg_iterations,
+               std::vector<double>* g);
+
+/// Per-lane partials of a design-transposed product over the fixed
+/// reduction-lane partition of the entry range [0, x.nnz()): for each
+/// lane l in [lane_begin, lane_end), accumulates (in entry order)
+/// Pᵀ diag-free contributions of y_e = x_e − (P·input)_e when
+/// `residual_from_x`, else y_e = (P·input)_e, into the |G|-wide slot
+/// `lane_sums + (l − lane_begin)·|G|`. Folding all lanes in lane order
+/// reproduces the single-process product bit for bit, which is how a
+/// distributed worker's gathered partials stay exact (the worker ships
+/// raw lane partials, never a locally pre-folded sum).
+void DesignLanePartials(const SparseTensor& x, const DeltaEngine& engine,
+                        bool residual_from_x, const std::vector<double>& input,
+                        std::int64_t lane_begin, std::int64_t lane_end,
+                        double* lane_sums);
+
+/// Writes the solved stacked values `g` back into `core` through the
+/// list's nonzero pattern and refreshes `core_list` from the new core.
+/// The engine-consistency contract of UpdateCoreTensor applies: call
+/// OnCoreValuesChanged() on any engine holding the list.
+void StoreCoreValues(const std::vector<double>& g, DenseTensor* core,
+                     CoreEntryList* core_list);
+
 }  // namespace ptucker
 
 #endif  // PTUCKER_CORE_CORE_UPDATE_H_

@@ -67,13 +67,22 @@ class ResidualWorker {
 // Deterministic combine order so fixed-seed solves are bit-reproducible;
 // tiled through ReconstructBatch when the engine has a real batch kernel.
 double SquaredResidualSum(const SparseTensor& x, const DeltaEngine& engine) {
-  const std::int64_t batch =
-      std::max<std::int64_t>(1, engine.PreferredBatch());
-  return DeterministicParallelBlockedSum(
-      x.nnz(), [&] { return ResidualWorker(x, engine, batch); });
+  double lane_sums[kReductionLanes];
+  SquaredResidualLaneSums(x, engine, 0, kReductionLanes, lane_sums);
+  return FoldLaneSums(lane_sums, kReductionLanes);
 }
 
 }  // namespace
+
+void SquaredResidualLaneSums(const SparseTensor& x, const DeltaEngine& engine,
+                             std::int64_t lane_begin, std::int64_t lane_end,
+                             double* lane_sums) {
+  const std::int64_t batch =
+      std::max<std::int64_t>(1, engine.PreferredBatch());
+  DeterministicParallelLaneSums(
+      x.nnz(), lane_begin, lane_end, lane_sums,
+      [&] { return ResidualWorker(x, engine, batch); });
+}
 
 double ReconstructionError(const SparseTensor& x, const DeltaEngine& engine) {
   return std::sqrt(SquaredResidualSum(x, engine));

@@ -26,6 +26,18 @@ class DeltaEngine;
 /// and their residuals summed in entry order, so the result is
 /// bit-identical to a per-entry scan for every engine and batch width.
 double ReconstructionError(const SparseTensor& x, const DeltaEngine& engine);
+
+/// Per-lane partials of Σ (X_α − x̂_α)² over the fixed reduction-lane
+/// partition of the entry range [0, x.nnz()): lane l's partial lands at
+/// `lane_sums[l − lane_begin]`, accumulated in entry order (tiled
+/// through ReconstructBatch like ReconstructionError). Folding all
+/// kReductionLanes partials in lane order and taking the square root
+/// reproduces ReconstructionError bit for bit — the distributed solver
+/// gathers each worker's lane subrange and folds exactly that way.
+void SquaredResidualLaneSums(const SparseTensor& x, const DeltaEngine& engine,
+                             std::int64_t lane_begin, std::int64_t lane_end,
+                             double* lane_sums);
+
 /// Entry-major-oracle overload of ReconstructionError.
 double ReconstructionError(const SparseTensor& x, const CoreEntryList& core,
                            const std::vector<Matrix>& factors);

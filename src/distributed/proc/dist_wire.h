@@ -1,0 +1,155 @@
+/// \file
+/// \brief The PTKD distributed message family: length-prefixed binary
+/// frames the multi-process solver (distributed/proc/dist_solver.h)
+/// exchanges between the coordinator and its workers. PTKD shares the
+/// 20-byte header layout and the entire validation path (byte-precise
+/// magic conviction, reserved-byte and opcode checks, payload cap) with
+/// the PTKN serving protocol through the protocol-agnostic codec in
+/// serve/net/frame.h — the two families differ only in their magic,
+/// opcode table, and payload cap, so a framing rule cannot drift between
+/// them. Payloads carry raw IEEE-754 bits through AppendF64/ReadF64, so
+/// factor rows and reduction partials cross the wire bit-exactly — the
+/// foundation of the N-process == 1-process trajectory guarantee. All
+/// parsers are strict: any size/field mismatch convicts the peer with a
+/// specific message and the connection is torn down (there is no
+/// request-level recovery inside a lock-step solver protocol).
+#ifndef PTUCKER_DISTRIBUTED_PROC_DIST_WIRE_H_
+#define PTUCKER_DISTRIBUTED_PROC_DIST_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "serve/net/frame.h"
+#include "util/parallel.h"
+
+namespace ptucker {
+
+/// The PTKD protocol magic, byte-for-byte ('P','T','K','D').
+constexpr std::uint8_t kDistMagic[4] = {0x50, 0x54, 0x4B, 0x44};
+
+/// Hard cap on a DIST frame's payload: a full factor broadcast is
+/// rows x cols doubles, far beyond the serving protocol's 1 MiB cap, so
+/// PTKD allows up to 1 GiB (a hostile length field still cannot balloon
+/// a worker's buffer past that).
+constexpr std::uint32_t kMaxDistPayload = 1u << 30;
+
+/// PTKD protocol version spoken by this build (checked at HELLO).
+constexpr std::uint32_t kDistProtocolVersion = 1;
+
+/// DIST opcodes. Values are wire bytes — never renumber. Direction is
+/// noted as C (coordinator) and W (worker).
+enum class DistOpcode : std::uint8_t {
+  kHello = 1,         ///< W→C: rank + cluster size + protocol version
+  kSolveMode = 2,     ///< C→W: solve your rows of one mode (tag = iteration)
+  kRows = 3,          ///< W→C: the solved contiguous row block
+  kFactor = 4,        ///< C→W: the merged full factor of one mode
+  kCoreResidual = 5,  ///< C→W: compute Pᵀ(x − P g) lane partials for g
+  kCoreMatVec = 6,    ///< C→W: compute Pᵀ(P d) lane partials for d
+  kCorePartials = 7,  ///< W→C: per-lane |G|-wide partials of a core op
+  kCoreWrite = 8,     ///< C→W: store the refit core values
+  kAck = 9,           ///< W→C: acknowledges a kCoreWrite
+  kErrorSums = 10,    ///< C→W request (empty) / W→C reply (lane sums)
+  kShutdown = 11,     ///< C→W: clean end of protocol
+  kBye = 12,          ///< W→C: acknowledges kShutdown before exit
+  kAbort = 13,        ///< either: fatal error, payload = UTF-8 message
+};
+
+/// One decoded DIST frame: the opcode, the 64-bit tag (the header's
+/// request-id slot; the solver uses it for the iteration counter), and
+/// the payload bytes.
+struct DistFrame {
+  DistOpcode opcode = DistOpcode::kAbort;
+  std::uint64_t tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// The PTKD protocol descriptor for the shared frame codec
+/// (serve/net/frame.h). Same validation path as PtknProtocol().
+const FrameProtocol& DistProtocol();
+
+/// Encodes one DIST frame (header + payload). Status byte is always 0 —
+/// DIST reports errors through kAbort frames, not a status table.
+std::vector<std::uint8_t> EncodeDistFrame(
+    DistOpcode opcode, std::uint64_t tag,
+    const std::vector<std::uint8_t>& payload);
+
+/// Decodes at most one DIST frame from `data[0..size)` through the
+/// shared codec; same contract as serve/net DecodeFrame (kNeedMore on a
+/// valid prefix, kError with a specific message on the first bad byte).
+DecodeResult DecodeDistFrame(const std::uint8_t* data, std::size_t size,
+                             DistFrame* frame, std::size_t* consumed,
+                             std::string* error);
+
+/// \name Typed payload codecs
+/// Encode* build the payload only (frame it with EncodeDistFrame);
+/// Parse* return false and fill `*error` on any size/field violation —
+/// the caller convicts the peer and tears the connection down.
+///@{
+
+/// HELLO payload: worker rank, cluster size, protocol version.
+std::vector<std::uint8_t> EncodeHello(std::int64_t rank, std::int64_t workers,
+                                      std::uint32_t version);
+/// Parses a HELLO payload.
+bool ParseHello(const std::vector<std::uint8_t>& payload, std::int64_t* rank,
+                std::int64_t* workers, std::uint32_t* version,
+                std::string* error);
+
+/// SOLVE_MODE payload: the mode whose owned rows the worker must solve.
+std::vector<std::uint8_t> EncodeSolveMode(std::int64_t mode);
+/// Parses a SOLVE_MODE payload.
+bool ParseSolveMode(const std::vector<std::uint8_t>& payload,
+                    std::int64_t* mode, std::string* error);
+
+/// A contiguous block of factor rows in transit (kRows and kFactor both
+/// use this shape; kFactor sends row_begin = 0, row_count = all rows).
+struct DistRowBlock {
+  std::int64_t mode = 0;
+  std::int64_t row_begin = 0;
+  std::int64_t row_count = 0;
+  std::int64_t cols = 0;
+  /// row_count x cols doubles, row-major.
+  std::vector<double> values;
+};
+
+/// ROWS/FACTOR payload: mode, row range, and the row-major doubles taken
+/// from `factor` rows [row_begin, row_begin + row_count).
+std::vector<std::uint8_t> EncodeRowBlock(std::int64_t mode,
+                                         const Matrix& factor,
+                                         std::int64_t row_begin,
+                                         std::int64_t row_count);
+/// Parses a ROWS/FACTOR payload.
+bool ParseRowBlock(const std::vector<std::uint8_t>& payload,
+                   DistRowBlock* block, std::string* error);
+
+/// CORE_RESIDUAL/CORE_MATVEC/CORE_WRITE payload: one double vector.
+std::vector<std::uint8_t> EncodeDoubleVector(const std::vector<double>& values);
+/// Parses a double-vector payload.
+bool ParseDoubleVector(const std::vector<std::uint8_t>& payload,
+                       std::vector<double>* values, std::string* error);
+
+/// A worker's contiguous range of reduction-lane partials: lane l of the
+/// fixed kReductionLanes partition contributes `width` doubles at
+/// `values[(l - first_lane) * width ..]`. Scalar sums use width = 1.
+struct DistLaneBlock {
+  std::int64_t first_lane = 0;
+  std::int64_t lane_count = 0;
+  std::int64_t width = 0;
+  std::vector<double> values;
+};
+
+/// CORE_PARTIALS/ERROR_SUMS payload: the worker's lane-partial block.
+std::vector<std::uint8_t> EncodeLaneBlock(std::int64_t first_lane,
+                                          std::int64_t lane_count,
+                                          std::int64_t width,
+                                          const double* values);
+/// Parses a lane-partial payload.
+bool ParseLaneBlock(const std::vector<std::uint8_t>& payload,
+                    DistLaneBlock* block, std::string* error);
+///@}
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_DISTRIBUTED_PROC_DIST_WIRE_H_

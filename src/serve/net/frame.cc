@@ -1,0 +1,114 @@
+#include "serve/net/frame.h"
+
+#include <cstring>
+
+namespace ptucker {
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t value) {
+  out->push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out->push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+  out->push_back(static_cast<std::uint8_t>((value >> 16) & 0xFF));
+  out->push_back(static_cast<std::uint8_t>((value >> 24) & 0xFF));
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void AppendI64(std::vector<std::uint8_t>* out, std::int64_t value) {
+  AppendU64(out, static_cast<std::uint64_t>(value));
+}
+
+void AppendF64(std::vector<std::uint8_t>* out, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 f64 expected");
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t value = 0;
+  for (int b = 7; b >= 0; --b) {
+    value = (value << 8) | static_cast<std::uint64_t>(p[b]);
+  }
+  return value;
+}
+
+std::int64_t ReadI64(const std::uint8_t* p) {
+  return static_cast<std::int64_t>(ReadU64(p));
+}
+
+double ReadF64(const std::uint8_t* p) {
+  const std::uint64_t bits = ReadU64(p);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+DecodeResult DecodeFrameHeader(const FrameProtocol& protocol,
+                               const std::uint8_t* data, std::size_t size,
+                               RawFrame* frame, std::size_t* consumed,
+                               std::string* error) {
+  // Magic is checked byte-by-byte as bytes arrive, so a garbage stream
+  // dies on its first wrong byte instead of buffering a header's worth.
+  static const char* kHex = "0123456789abcdef";
+  for (std::size_t b = 0; b < size && b < 4; ++b) {
+    if (data[b] != protocol.magic[b]) {
+      *error = "bad magic byte at offset " + std::to_string(b) + " (0x";
+      *error += kHex[data[b] >> 4];
+      *error += kHex[data[b] & 0xF];
+      *error += std::string("); not a ") + protocol.name + " stream";
+      return DecodeResult::kError;
+    }
+  }
+  if (size < kFrameHeaderSize) return DecodeResult::kNeedMore;
+  if (data[6] != 0 || data[7] != 0) {
+    *error = "reserved header bytes 6-7 must be zero";
+    return DecodeResult::kError;
+  }
+  if (!protocol.known_opcode(data[4])) {
+    *error = "unknown opcode " + std::to_string(static_cast<unsigned>(data[4]));
+    return DecodeResult::kError;
+  }
+  const std::uint32_t payload_size = ReadU32(data + 16);
+  if (payload_size > protocol.max_payload) {
+    *error = "payload length " + std::to_string(payload_size) +
+             " exceeds the " + std::to_string(protocol.max_payload) +
+             "-byte cap";
+    return DecodeResult::kError;
+  }
+  if (size < kFrameHeaderSize + payload_size) return DecodeResult::kNeedMore;
+  frame->opcode = data[4];
+  frame->status = data[5];
+  frame->request_id = ReadU64(data + 8);
+  frame->payload.assign(data + kFrameHeaderSize,
+                        data + kFrameHeaderSize + payload_size);
+  *consumed = kFrameHeaderSize + payload_size;
+  return DecodeResult::kFrame;
+}
+
+void EncodeFrameHeader(const FrameProtocol& protocol, std::uint8_t opcode,
+                       std::uint8_t status, std::uint64_t request_id,
+                       const std::uint8_t* payload, std::size_t payload_size,
+                       std::vector<std::uint8_t>* out) {
+  out->reserve(out->size() + kFrameHeaderSize + payload_size);
+  out->insert(out->end(), protocol.magic, protocol.magic + 4);
+  out->push_back(opcode);
+  out->push_back(status);
+  out->push_back(0);
+  out->push_back(0);
+  AppendU64(out, request_id);
+  AppendU32(out, static_cast<std::uint32_t>(payload_size));
+  out->insert(out->end(), payload, payload + payload_size);
+}
+
+}  // namespace ptucker

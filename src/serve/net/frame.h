@@ -1,0 +1,100 @@
+/// \file
+/// \brief Protocol-agnostic length-prefixed frame codec shared by the
+/// PTKN serving protocol (serve/net/wire.h) and the PTKD distributed
+/// message family (distributed/proc/dist_wire.h). Both protocols use the
+/// same 20-byte header layout and the same validation path — magic
+/// checked byte-by-byte as bytes arrive, reserved bytes must be zero,
+/// opcode must be known, payload length capped — parameterized by a
+/// FrameProtocol descriptor, so a framing rule (and its loud rejection)
+/// can never drift between the two wire families.
+#ifndef PTUCKER_SERVE_NET_FRAME_H_
+#define PTUCKER_SERVE_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptucker {
+
+/// Header layout shared by every frame protocol (integers little-endian):
+///
+///   offset  size  field
+///        0     4  magic (protocol-specific, e.g. "PTKN" / "PTKD")
+///        4     1  opcode (protocol-specific table)
+///        5     1  status (requests: 0; replies: protocol status table)
+///        6     2  reserved, must be zero
+///        8     8  request id / tag (echoed or protocol-defined)
+///       16     4  payload length in bytes, <= protocol max_payload
+///       20     …  payload
+constexpr std::size_t kFrameHeaderSize = 20;
+
+/// Descriptor of one frame protocol: its 4-byte magic, a printable name
+/// for error messages, the payload cap, and the opcode validity
+/// predicate. The decode path applies the same checks in the same order
+/// for every protocol built on this codec.
+struct FrameProtocol {
+  /// The 4 magic bytes opening every frame.
+  std::uint8_t magic[4];
+  /// Printable protocol name used in framing-error messages ("PTKN").
+  const char* name;
+  /// Hard cap on a frame's payload length.
+  std::uint32_t max_payload;
+  /// Returns true when the opcode byte is in the protocol's table.
+  bool (*known_opcode)(std::uint8_t opcode);
+};
+
+/// One decoded frame, before protocol-specific typing: raw opcode/status
+/// bytes plus the id field and a payload copied out of the connection
+/// buffer (so the frame outlives further reads).
+struct RawFrame {
+  std::uint8_t opcode = 0;
+  std::uint8_t status = 0;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// DecodeFrameHeader outcome. kNeedMore means the bytes so far are a
+/// valid frame prefix — read more and retry; kError means the stream is
+/// not a valid frame and cannot become one by appending bytes.
+enum class DecodeResult {
+  kFrame,     ///< one frame decoded; *consumed bytes were used
+  kNeedMore,  ///< valid prefix, frame incomplete
+  kError,     ///< framing violation; *error names the byte/field
+};
+
+/// Decodes at most one `protocol` frame from `data[0..size)`. On kFrame,
+/// fills `frame` and sets `*consumed` to the frame's full size. On
+/// kError, `*error` describes the specific violation (bad magic byte and
+/// its offset, nonzero reserved bytes, unknown opcode, oversized
+/// payload). The magic is convicted at the first wrong byte — a garbage
+/// stream dies immediately instead of buffering a header's worth. Never
+/// reads outside `data[0..size)`.
+DecodeResult DecodeFrameHeader(const FrameProtocol& protocol,
+                               const std::uint8_t* data, std::size_t size,
+                               RawFrame* frame, std::size_t* consumed,
+                               std::string* error);
+
+/// Appends one encoded `protocol` frame (header + payload) to `out`.
+void EncodeFrameHeader(const FrameProtocol& protocol, std::uint8_t opcode,
+                       std::uint8_t status, std::uint64_t request_id,
+                       const std::uint8_t* payload, std::size_t payload_size,
+                       std::vector<std::uint8_t>* out);
+
+/// \name Little-endian scalar append/read helpers
+/// Shared by the typed payload codecs of both protocols and by tests
+/// that build hostile frames byte-by-byte.
+///@{
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t value);
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value);
+void AppendI64(std::vector<std::uint8_t>* out, std::int64_t value);
+void AppendF64(std::vector<std::uint8_t>* out, double value);
+std::uint32_t ReadU32(const std::uint8_t* p);
+std::uint64_t ReadU64(const std::uint8_t* p);
+std::int64_t ReadI64(const std::uint8_t* p);
+double ReadF64(const std::uint8_t* p);
+///@}
+
+}  // namespace ptucker
+
+#endif  // PTUCKER_SERVE_NET_FRAME_H_

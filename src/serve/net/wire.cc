@@ -1,7 +1,5 @@
 #include "serve/net/wire.h"
 
-#include <cstring>
-
 namespace ptucker {
 
 namespace {
@@ -15,106 +13,36 @@ bool KnownOpcode(std::uint8_t value) {
 
 }  // namespace
 
-void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t value) {
-  out->push_back(static_cast<std::uint8_t>(value & 0xFF));
-  out->push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
-  out->push_back(static_cast<std::uint8_t>((value >> 16) & 0xFF));
-  out->push_back(static_cast<std::uint8_t>((value >> 24) & 0xFF));
-}
-
-void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out->push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
-  }
-}
-
-void AppendI64(std::vector<std::uint8_t>* out, std::int64_t value) {
-  AppendU64(out, static_cast<std::uint64_t>(value));
-}
-
-void AppendF64(std::vector<std::uint8_t>* out, double value) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 f64 expected");
-  std::memcpy(&bits, &value, sizeof(bits));
-  AppendU64(out, bits);
-}
-
-std::uint32_t ReadU32(const std::uint8_t* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
-
-std::uint64_t ReadU64(const std::uint8_t* p) {
-  std::uint64_t value = 0;
-  for (int b = 7; b >= 0; --b) {
-    value = (value << 8) | static_cast<std::uint64_t>(p[b]);
-  }
-  return value;
-}
-
-std::int64_t ReadI64(const std::uint8_t* p) {
-  return static_cast<std::int64_t>(ReadU64(p));
-}
-
-double ReadF64(const std::uint8_t* p) {
-  const std::uint64_t bits = ReadU64(p);
-  double value = 0.0;
-  std::memcpy(&value, &bits, sizeof(value));
-  return value;
+const FrameProtocol& PtknProtocol() {
+  static const FrameProtocol protocol = {
+      {kWireMagic[0], kWireMagic[1], kWireMagic[2], kWireMagic[3]},
+      "PTKN",
+      kMaxWirePayload,
+      &KnownOpcode};
+  return protocol;
 }
 
 DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t size,
                          WireFrame* frame, std::size_t* consumed,
                          std::string* error) {
-  // Magic is checked byte-by-byte as bytes arrive, so a garbage stream
-  // dies on its first wrong byte instead of buffering a header's worth.
-  for (std::size_t b = 0; b < size && b < 4; ++b) {
-    if (data[b] != kWireMagic[b]) {
-      *error = "bad magic byte at offset " + std::to_string(b) + " (0x" +
-               std::to_string(static_cast<unsigned>(data[b])) +
-               "); not a PTKN stream";
-      return DecodeResult::kError;
-    }
+  RawFrame raw;
+  const DecodeResult result =
+      DecodeFrameHeader(PtknProtocol(), data, size, &raw, consumed, error);
+  if (result == DecodeResult::kFrame) {
+    frame->opcode = static_cast<Opcode>(raw.opcode);
+    frame->status = static_cast<WireStatus>(raw.status);
+    frame->request_id = raw.request_id;
+    frame->payload = std::move(raw.payload);
   }
-  if (size < kWireHeaderSize) return DecodeResult::kNeedMore;
-  if (data[6] != 0 || data[7] != 0) {
-    *error = "reserved header bytes 6-7 must be zero";
-    return DecodeResult::kError;
-  }
-  if (!KnownOpcode(data[4])) {
-    *error = "unknown opcode " + std::to_string(static_cast<unsigned>(data[4]));
-    return DecodeResult::kError;
-  }
-  const std::uint32_t payload_size = ReadU32(data + 16);
-  if (payload_size > kMaxWirePayload) {
-    *error = "payload length " + std::to_string(payload_size) +
-             " exceeds the " + std::to_string(kMaxWirePayload) + "-byte cap";
-    return DecodeResult::kError;
-  }
-  if (size < kWireHeaderSize + payload_size) return DecodeResult::kNeedMore;
-  frame->opcode = static_cast<Opcode>(data[4]);
-  frame->status = static_cast<WireStatus>(data[5]);
-  frame->request_id = ReadU64(data + 8);
-  frame->payload.assign(data + kWireHeaderSize,
-                        data + kWireHeaderSize + payload_size);
-  *consumed = kWireHeaderSize + payload_size;
-  return DecodeResult::kFrame;
+  return result;
 }
 
 void EncodeFrame(Opcode opcode, WireStatus status, std::uint64_t request_id,
                  const std::uint8_t* payload, std::size_t payload_size,
                  std::vector<std::uint8_t>* out) {
-  out->reserve(out->size() + kWireHeaderSize + payload_size);
-  out->insert(out->end(), kWireMagic, kWireMagic + 4);
-  out->push_back(static_cast<std::uint8_t>(opcode));
-  out->push_back(static_cast<std::uint8_t>(status));
-  out->push_back(0);
-  out->push_back(0);
-  AppendU64(out, request_id);
-  AppendU32(out, static_cast<std::uint32_t>(payload_size));
-  out->insert(out->end(), payload, payload + payload_size);
+  EncodeFrameHeader(PtknProtocol(), static_cast<std::uint8_t>(opcode),
+                    static_cast<std::uint8_t>(status), request_id, payload,
+                    payload_size, out);
 }
 
 std::vector<std::uint8_t> EncodePredictRequest(

@@ -12,7 +12,11 @@
 /// decoder never reads past the bytes it is given and never invokes UB
 /// on hostile input (tests/serve/net/wire_test.cc sweeps byte flips and
 /// truncations over valid frames, the snapshot-v2 corruption-sweep
-/// discipline). See docs/serving.md for the spec tables.
+/// discipline). The header encode/decode itself lives in the
+/// protocol-agnostic codec serve/net/frame.h, which this protocol shares
+/// with the PTKD distributed family — reserved-byte, magic, opcode, and
+/// length violations are rejected through one code path for both. See
+/// docs/serving.md for the spec tables.
 #ifndef PTUCKER_SERVE_NET_WIRE_H_
 #define PTUCKER_SERVE_NET_WIRE_H_
 
@@ -21,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/net/frame.h"
 #include "serve/service.h"
 
 namespace ptucker {
@@ -35,7 +40,7 @@ namespace ptucker {
 ///        8     8  request id (echoed verbatim in the reply)
 ///       16     4  payload length in bytes, <= kMaxWirePayload
 ///       20     …  payload
-constexpr std::size_t kWireHeaderSize = 20;
+constexpr std::size_t kWireHeaderSize = kFrameHeaderSize;
 
 /// Hard cap on a frame's payload: large enough for a 64k-entry top-K
 /// reply, small enough that one hostile length field cannot balloon a
@@ -77,14 +82,10 @@ struct WireFrame {
   std::vector<std::uint8_t> payload;
 };
 
-/// DecodeFrame outcome. kNeedMore means the bytes so far are a valid
-/// frame prefix — read more and retry; kError means the stream is not a
-/// valid frame and cannot become one by appending bytes.
-enum class DecodeResult {
-  kFrame,     ///< one frame decoded; *consumed bytes were used
-  kNeedMore,  ///< valid prefix, frame incomplete
-  kError,     ///< framing violation; *error names the byte/field
-};
+/// The PTKN protocol descriptor for the shared frame codec
+/// (serve/net/frame.h): magic, payload cap, and opcode table in one
+/// place, so PTKN and PTKD validate headers through the same path.
+const FrameProtocol& PtknProtocol();
 
 /// Decodes at most one frame from `data[0..size)`. On kFrame, fills
 /// `frame` and sets `*consumed` to the frame's full size. On kError,
@@ -99,20 +100,6 @@ DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t size,
 void EncodeFrame(Opcode opcode, WireStatus status, std::uint64_t request_id,
                  const std::uint8_t* payload, std::size_t payload_size,
                  std::vector<std::uint8_t>* out);
-
-/// \name Little-endian scalar append/read helpers
-/// Shared by the typed payload codecs below and by tests that build
-/// hostile frames byte-by-byte.
-///@{
-void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t value);
-void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value);
-void AppendI64(std::vector<std::uint8_t>* out, std::int64_t value);
-void AppendF64(std::vector<std::uint8_t>* out, double value);
-std::uint32_t ReadU32(const std::uint8_t* p);
-std::uint64_t ReadU64(const std::uint8_t* p);
-std::int64_t ReadI64(const std::uint8_t* p);
-double ReadF64(const std::uint8_t* p);
-///@}
 
 /// Decoded PREDICT request: payload = u32 order N, then N i64 0-based
 /// coordinates.

@@ -2,6 +2,8 @@
 //
 // Subcommands (first argument; `decompose` is assumed when omitted):
 //   decompose      factorize --input and optionally checkpoint the model
+//   solve          factorize --input across --workers forked processes
+//                  (bit-identical to decompose; see docs/distributed.md)
 //   predict        batch x-hat predictions from a saved model snapshot
 //   topk           top-K completions along one mode from a saved snapshot
 //   convert-model  rewrite a snapshot as format v2 with IVF centroids
@@ -84,6 +86,8 @@
 //   --checkpoint-dir DIR  replay: durable ckpt-<seq>.ptks + MANIFEST
 //                         directory; an existing MANIFEST there resumes
 //                         the replay from its checkpoint
+//   --workers N           solve: worker processes, [1, 64] (default 2)
+//   --transport NAME      solve: socketpair (default) | tcp | inprocess
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -104,6 +108,7 @@
 #include "core/reconstruction.h"
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "distributed/proc/dist_solver.h"
 #include "linalg/matrix_io.h"
 #include "data/movielens_sim.h"
 #include "serve/net/server.h"
@@ -130,6 +135,9 @@ struct SubcommandDescriptor {
 
 constexpr SubcommandDescriptor kSubcommands[] = {
     {"decompose", "factorize --input (the default when no subcommand given)"},
+    {"solve",
+     "factorize --input across --workers forked processes, bit-identical "
+     "to decompose (docs/distributed.md)"},
     {"predict", "batch x-hat predictions from --load-model at --queries"},
     {"topk", "top-K completions along --mode from --load-model at --index"},
     {"convert-model",
@@ -200,6 +208,8 @@ struct CliConfig {
   std::int64_t flush_every = 64;       // replay
   std::int64_t checkpoint_every = 0;   // replay; 0 = final only
   std::string checkpoint_dir;          // replay
+  std::int64_t dist_workers = 2;       // solve
+  std::string dist_transport = "socketpair";
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -212,6 +222,8 @@ void PrintUsageAndExit() {
   std::printf(
       "usage: ptucker_cli [subcommand] --input X.tns --ranks J1,J2,... "
       "[options]\n"
+      "       ptucker_cli solve --input X.tns --ranks J1,J2,... "
+      "[--workers N] [--transport T]\n"
       "       ptucker_cli predict --load-model M.ptks --queries Q.tns\n"
       "       ptucker_cli topk --load-model M.ptks --mode M --index "
       "i1,i2,... [--k K] [--topk-nprobe N|all]\n"
@@ -265,6 +277,9 @@ void PrintUsageAndExit() {
       "          --delete-fraction --max-timestamp-step --flush-every\n"
       "          --checkpoint-every --checkpoint-dir\n"
       "          (ingest pipeline and replay format: docs/streaming.md)\n"
+      "solve:    --workers N (worker processes, [1, 64])\n"
+      "          --transport socketpair|tcp|inprocess\n"
+      "          (protocol and determinism contract: docs/distributed.md)\n"
       "flags accept both '--flag value' and '--flag=value'\n");
   std::exit(0);
 }
@@ -422,6 +437,9 @@ CliConfig ParseArgs(int argc, char** argv) {
       config.checkpoint_every = std::stoll(need_value(i));
     else if (arg == "--checkpoint-dir")
       config.checkpoint_dir = need_value(i);
+    else if (arg == "--workers")
+      config.dist_workers = std::stoll(need_value(i));
+    else if (arg == "--transport") config.dist_transport = need_value(i);
     else Fail("unknown flag: " + arg);
     if (has_inline_value) Fail("flag does not take a value: " + arg);
   }
@@ -498,6 +516,17 @@ CliConfig ParseArgs(int argc, char** argv) {
   if (config.checkpoint_every < 0) {
     Fail("--checkpoint-every must be >= 0, got " +
          std::to_string(config.checkpoint_every));
+  }
+  // Distributed knobs: same boundary discipline — the [1, 64] ceiling is
+  // the fixed 64-lane reduction partition (docs/distributed.md).
+  if (config.dist_workers < 1 || config.dist_workers > 64) {
+    Fail("--workers must be in [1, 64], got " +
+         std::to_string(config.dist_workers));
+  }
+  if (config.dist_transport != "socketpair" &&
+      config.dist_transport != "tcp" && config.dist_transport != "inprocess") {
+    Fail("unknown --transport '" + config.dist_transport +
+         "'; expected socketpair, tcp, or inprocess");
   }
   return config;
 }
@@ -771,6 +800,98 @@ int RunReplay(const CliConfig& config) {
   return 0;
 }
 
+// solve: the multi-process P-Tucker front end. A coordinator forks
+// --workers processes, each solving its contiguous block of factor rows;
+// fixed-lane reductions make the result bit-identical to `decompose` on
+// the same flags (docs/distributed.md).
+int RunSolve(const CliConfig& config) {
+  SparseTensor x;
+  if (config.selftest) {
+    Rng rng(7);
+    x = UniformSparseTensor({50, 40, 30}, 3000, rng);
+    std::printf("selftest: synthetic 50x40x30 tensor, 3000 nnz\n");
+  } else {
+    if (config.input.empty()) Fail("solve requires --input PATH");
+    x = ReadTns(config.input);
+    x.BuildModeIndex();
+  }
+  if (config.method != "ptucker") {
+    Fail("solve supports --method ptucker only");
+  }
+  if (config.variant != "memory") {
+    Fail("solve supports --variant memory only (got '" + config.variant +
+         "')");
+  }
+  std::vector<std::int64_t> ranks = config.ranks;
+  if (ranks.empty() && config.uniform_rank > 0) {
+    ranks.assign(static_cast<std::size_t>(x.order()), config.uniform_rank);
+  }
+  if (ranks.empty() && config.selftest) ranks = {4, 4, 4};
+  if (ranks.empty()) Fail("--ranks (or --rank) is required");
+  if (static_cast<std::int64_t>(ranks.size()) != x.order()) {
+    Fail("--ranks has " + std::to_string(ranks.size()) + " values but the "
+         "tensor has " + std::to_string(x.order()) + " modes");
+  }
+
+  PTuckerOptions options;
+  options.core_dims = ranks;
+  options.lambda = config.lambda;
+  options.max_iterations = config.max_iters;
+  options.tolerance = config.tolerance;
+  options.sample_rate = config.sample_rate;
+  options.seed = config.seed;
+  options.update_core = config.update_core;
+  options.adaptive_epsilon = config.adaptive_eps;
+  options.tile_width = config.tile_width;
+  const DeltaEngineDescriptor* engine =
+      FindDeltaEngineByName(config.delta_engine);
+  if (engine == nullptr) {
+    Fail("unknown --delta-engine: " + config.delta_engine);
+  }
+  options.delta_engine = engine->choice;
+
+  DistOptions dist;
+  dist.workers = config.dist_workers;
+  if (config.dist_transport == "socketpair") {
+    dist.transport = DistTransport::kSocketpair;
+  } else if (config.dist_transport == "tcp") {
+    dist.transport = DistTransport::kTcp;
+  } else {
+    dist.transport = DistTransport::kInProcess;
+  }
+
+  std::printf("tensor: %s, %lld observed entries; ranks: %s; workers: %lld "
+              "(%s)\n",
+              JoinInts(x.dims(), "x").c_str(),
+              static_cast<long long>(x.nnz()),
+              JoinInts(ranks, ",").c_str(),
+              static_cast<long long>(dist.workers),
+              config.dist_transport.c_str());
+  DistributedPTuckerResult distributed =
+      DistributedPTuckerDecompose(x, options, dist);
+  PrintTrace(distributed.result.iterations, config.quiet);
+  std::printf("final reconstruction error (Eq. 5): %.6f\n",
+              distributed.result.final_error);
+  const double efficiency = distributed.stats.makespan_per_iteration.empty()
+                                ? 1.0
+                                : distributed.stats.Efficiency(0);
+  std::printf("cluster: %lld workers, %d iterations, %lld bytes on the "
+              "wire, partition efficiency %.3f\n",
+              static_cast<long long>(distributed.stats.workers),
+              distributed.stats.iterations_run,
+              static_cast<long long>(distributed.stats.total_comm_bytes),
+              efficiency);
+  if (!config.output_dir.empty()) {
+    WriteModel(distributed.result.model, config.output_dir);
+  }
+  if (!config.save_model.empty()) {
+    SaveSnapshotV2(config.save_model, distributed.result.model,
+                   /*with_centroids=*/true);
+    std::printf("model snapshot written to %s\n", config.save_model.c_str());
+  }
+  return 0;
+}
+
 // convert-model: parse any supported snapshot and rewrite it as v2 with
 // IVF centroids embedded, so topk --topk-nprobe can probe it.
 int RunConvertModel(const CliConfig& config) {
@@ -948,6 +1069,7 @@ int Run(const CliConfig& config) {
 int main(int argc, char** argv) {
   try {
     const CliConfig config = ParseArgs(argc, argv);
+    if (config.subcommand == "solve") return RunSolve(config);
     if (config.subcommand == "predict") return RunPredict(config);
     if (config.subcommand == "topk") return RunTopk(config);
     if (config.subcommand == "convert-model") return RunConvertModel(config);
