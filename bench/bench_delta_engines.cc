@@ -26,7 +26,7 @@
 #include "core/delta_engine.h"
 #include "data/synthetic.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
 
 namespace {
 

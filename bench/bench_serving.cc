@@ -25,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/percentiles.h"
+#include "obs/percentile.h"
 #include "core/ptucker.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -33,7 +33,7 @@
 #include "tensor/dense_tensor.h"
 #include "util/format.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
 
 namespace {
 
@@ -251,8 +251,8 @@ int RunDefaultBench() {
   // Per-request latency distribution for the single-entry path, from a
   // separate instrumented pass so the per-query clock reads cannot
   // perturb the QPS numbers the gate compares. Percentile definitions:
-  // bench/percentiles.h (shared with bench_serving_net).
-  bench::LatencyRecorder single_latency;
+  // src/obs/percentile.h (shared with bench_serving_net).
+  obs::LatencyRecorder single_latency;
   single_latency.Reserve(static_cast<std::size_t>(num_queries));
   for (std::int64_t q = 0; q < num_queries; ++q) {
     query.assign(queries[static_cast<std::size_t>(q)],
@@ -307,7 +307,7 @@ int RunDefaultBench() {
     for (const std::int64_t k : {std::int64_t{10}, std::int64_t{100}}) {
       const std::vector<std::int64_t> at = {42, 0, 21};
       double seconds = 1e30;
-      bench::LatencyRecorder latency;
+      obs::LatencyRecorder latency;
       for (int repeat = 0; repeat < 50; ++repeat) {
         Stopwatch clock;
         const auto top = service.TopK(1, at, k);

@@ -1,8 +1,9 @@
 // Network serving load generator (serve/net/): drives an in-process
 // NetServer over real loopback TCP sockets with N concurrent
 // connections and reports QPS plus p50/p99/p999 request latency
-// (bench/percentiles.h — same definitions as bench_serving's columns;
-// see docs/benchmarks.md).
+// (src/obs/percentile.h — same definitions as bench_serving's columns;
+// see docs/benchmarks.md). Each run also scrapes the live METRICS
+// endpoint (docs/observability.md) and reports parked/shed counts.
 //
 // The no-argument run is the Release CI gate for the batch coalescer:
 // the same closed-loop workload (64 connections by default) is thrown
@@ -33,7 +34,8 @@
 #include <thread>
 #include <vector>
 
-#include "bench/percentiles.h"
+#include "obs/metrics.h"
+#include "obs/percentile.h"
 #include "core/ptucker.h"
 #include "serve/net/client.h"
 #include "serve/net/server.h"
@@ -41,7 +43,7 @@
 #include "tensor/dense_tensor.h"
 #include "util/format.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
 
 namespace {
 
@@ -148,21 +150,21 @@ std::vector<std::vector<std::int64_t>> MakeQueries(std::int64_t count,
 
 struct RunResult {
   double qps = 0.0;
-  bench::LatencyRecorder latencies;
+  obs::LatencyRecorder latencies;
 };
 
 // Closed loop: every connection keeps one request in flight.
 RunResult RunClosedLoop(int port, const BenchOptions& options,
                         const std::vector<std::vector<std::int64_t>>& queries) {
   const std::size_t conns = static_cast<std::size_t>(options.connections);
-  std::vector<bench::LatencyRecorder> per_thread(conns);
+  std::vector<obs::LatencyRecorder> per_thread(conns);
   std::vector<std::thread> threads;
   threads.reserve(conns);
   Stopwatch wall;
   for (std::size_t c = 0; c < conns; ++c) {
     threads.emplace_back([&, c] {
       NetClient client("127.0.0.1", port);
-      bench::LatencyRecorder& recorder = per_thread[c];
+      obs::LatencyRecorder& recorder = per_thread[c];
       recorder.Reserve(static_cast<std::size_t>(options.requests));
       for (std::int64_t r = 0; r < options.requests; ++r) {
         const auto& query =
@@ -194,7 +196,7 @@ RunResult RunFixedRate(int port, const BenchOptions& options,
   const std::int64_t per_conn_requests = static_cast<std::int64_t>(
       per_conn_rate * static_cast<double>(options.duration_s));
 
-  std::vector<bench::LatencyRecorder> per_thread(conns);
+  std::vector<obs::LatencyRecorder> per_thread(conns);
   std::vector<std::thread> threads;
   threads.reserve(conns);
   Stopwatch wall;
@@ -202,7 +204,7 @@ RunResult RunFixedRate(int port, const BenchOptions& options,
   for (std::size_t c = 0; c < conns; ++c) {
     threads.emplace_back([&, c] {
       NetClient client("127.0.0.1", port);
-      bench::LatencyRecorder& recorder = per_thread[c];
+      obs::LatencyRecorder& recorder = per_thread[c];
       recorder.Reserve(static_cast<std::size_t>(per_conn_requests));
       // Stagger streams so ticks don't align across connections.
       auto next = start + interval * static_cast<std::int64_t>(c) /
@@ -243,6 +245,37 @@ int WorkerThreads() {
   return static_cast<int>(std::min(4u, std::max(2u, hw / 2)));
 }
 
+// First sample named exactly `name` in Prometheus exposition text
+// (skips the `name_bucket{...}` / `name_sum` derived lines), parsed as
+// a non-negative integer; 0 when absent.
+std::uint64_t ScrapeCounter(const std::string& exposition,
+                            const std::string& name) {
+  std::size_t pos = 0;
+  while (pos < exposition.size()) {
+    std::size_t eol = exposition.find('\n', pos);
+    if (eol == std::string::npos) eol = exposition.size();
+    const std::string line = exposition.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.compare(0, name.size(), name) != 0) continue;
+    if (line.size() <= name.size() || line[name.size()] != ' ') continue;
+    return static_cast<std::uint64_t>(
+        std::strtoull(line.c_str() + name.size() + 1, nullptr, 10));
+  }
+  return 0;
+}
+
+// One METRICS round trip against the still-running server: the
+// parked/shed totals the overload path recorded during the run.
+void ReportOverloadCounters(int port, const char* label) {
+  NetClient client("127.0.0.1", port);
+  const std::string text = client.Metrics();
+  std::printf("%s: parked %llu, shed %llu (live METRICS endpoint)\n", label,
+              static_cast<unsigned long long>(
+                  ScrapeCounter(text, "ptucker_serve_parked_total")),
+              static_cast<unsigned long long>(
+                  ScrapeCounter(text, "ptucker_serve_shed_total")));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,9 +302,12 @@ int main(int argc, char** argv) {
         static_cast<long long>(options.connections),
         static_cast<long long>(options.rate),
         static_cast<long long>(options.duration_s));
+    obs::MetricsRegistry registry;
+    coalesced.metrics_registry = &registry;
     NetServer server(service, coalesced);
     server.Start();
     const RunResult result = RunFixedRate(server.port(), options, queries);
+    ReportOverloadCounters(server.port(), "coalesced (rate)");
     server.Stop();
     TablePrinter table({"config", "conns", "QPS", "p50 ms", "p99 ms",
                         "p999 ms", "vs offered"});
@@ -302,18 +338,25 @@ int main(int argc, char** argv) {
 
   RunResult batch1_result;
   {
+    // Per-server registries keep the two shapes' telemetry separate.
+    obs::MetricsRegistry registry;
+    batch1.metrics_registry = &registry;
     NetServer server(service, batch1);
     server.Start();
     batch1_result = RunClosedLoop(server.port(), options, queries);
+    ReportOverloadCounters(server.port(), "batch-1 server");
     server.Stop();
   }
 
   RunResult coalesced_result;
   std::uint64_t max_batch_observed = 0;
   {
+    obs::MetricsRegistry registry;
+    coalesced.metrics_registry = &registry;
     NetServer server(service, coalesced);
     server.Start();
     coalesced_result = RunClosedLoop(server.port(), options, queries);
+    ReportOverloadCounters(server.port(), "coalesced server");
     max_batch_observed = server.stats().max_batch_observed.load();
     server.Stop();
   }

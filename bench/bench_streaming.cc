@@ -36,7 +36,7 @@
 #include "serve/snapshot_v2.h"
 #include "stream/ingest_pipeline.h"
 #include "util/format.h"
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
 
 namespace {
 

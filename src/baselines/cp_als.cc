@@ -12,7 +12,7 @@
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
 
 namespace ptucker {
 

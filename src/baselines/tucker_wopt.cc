@@ -10,7 +10,7 @@
 #include "tensor/nmode.h"
 #include "util/logging.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
 
 namespace ptucker {
 

@@ -18,7 +18,8 @@
 #include "tensor/nmode.h"
 #include "util/logging.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace ptucker {
 
@@ -179,6 +180,7 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
 
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
     Stopwatch iteration_clock;
+    PTUCKER_TRACE_SPAN("als.iteration");
 
     // --- Update factor matrices (Algorithm 3), every row of every mode
     // through the shared row-subset entry point (row_update.h). ---
@@ -188,6 +190,7 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
     row_options.seed = options.seed;
     row_options.iteration = iteration;
     for (std::int64_t mode = 0; mode < order; ++mode) {
+      PTUCKER_TRACE_SPAN("als.factor_update");
       Matrix old_factor;
       if (engine->WantsFactorSnapshot()) {
         old_factor = factors[static_cast<std::size_t>(mode)];
@@ -199,13 +202,17 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
 
     // --- Optional extension: re-fit the core to the observations. ---
     if (options.update_core) {
+      PTUCKER_TRACE_SPAN("als.core_update");
       UpdateCoreTensor(x, &core, &core_list, factors, options.lambda,
                        options.core_update_cg_iterations, engine.get());
       engine->OnCoreValuesChanged();
     }
 
     // --- Reconstruction error (Algorithm 2 line 4, Eq. 5). ---
-    const double error = ReconstructionError(x, *engine);
+    const double error = [&] {
+      PTUCKER_TRACE_SPAN("als.error");
+      return ReconstructionError(x, *engine);
+    }();
 
     IterationStats stats;
     stats.iteration = iteration;
@@ -227,6 +234,7 @@ PTuckerResult PTuckerDecompose(const SparseTensor& x,
     // smaller core. Its cost (dominated by R(β)) is part of the iteration
     // time, matching the paper's Fig. 9 accounting. ---
     if (options.variant == PTuckerVariant::kApprox && !is_last_iteration) {
+      PTUCKER_TRACE_SPAN("als.truncate");
       const std::int64_t removed = TruncateNoisyEntries(
           x, &core, &core_list, factors, options.truncation_rate,
           engine.get(), tracker);

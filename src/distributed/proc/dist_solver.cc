@@ -19,7 +19,8 @@
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/random.h"
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace ptucker {
 
@@ -227,6 +228,14 @@ void RunDistWorker(const SparseTensor& x, const PTuckerOptions& options,
   const std::int64_t order = x.order();
   const std::int64_t workers = dist.workers;
 
+  // A forked worker inherits the parent tracer's rings; drop them so
+  // the kBye payload carries only this rank's spans. In-process workers
+  // share the coordinator's live tracer and must leave it alone.
+  if (dist.transport != DistTransport::kInProcess &&
+      obs::Tracer::Global().enabled()) {
+    obs::Tracer::Global().Clear();
+  }
+
   std::vector<Matrix> factors;
   DenseTensor core = InitModel(x, options, &factors);
   CoreEntryList core_list(core);
@@ -290,6 +299,7 @@ void RunDistWorker(const SparseTensor& x, const PTuckerOptions& options,
             channel.SendRaw(bytes.data(), bytes.size() / 2);
             throw DistError("fault injection: frame truncated");
           }
+          PTUCKER_TRACE_SPAN("dist.row_solve");
           pending_old = Matrix();
           if (engine->WantsFactorSnapshot()) {
             pending_old = factors[static_cast<std::size_t>(mode)];
@@ -313,6 +323,7 @@ void RunDistWorker(const SparseTensor& x, const PTuckerOptions& options,
           break;
         }
         case DistOpcode::kFactor: {
+          PTUCKER_TRACE_SPAN("dist.row_exchange");
           DistRowBlock block;
           std::string error;
           if (!ParseRowBlock(frame.payload, &block, &error)) {
@@ -334,6 +345,7 @@ void RunDistWorker(const SparseTensor& x, const PTuckerOptions& options,
         }
         case DistOpcode::kCoreResidual:
         case DistOpcode::kCoreMatVec: {
+          PTUCKER_TRACE_SPAN("dist.reduction");
           std::vector<double> input;
           std::string error;
           if (!ParseDoubleVector(frame.payload, &input, &error)) {
@@ -370,6 +382,7 @@ void RunDistWorker(const SparseTensor& x, const PTuckerOptions& options,
           break;
         }
         case DistOpcode::kErrorSums: {
+          PTUCKER_TRACE_SPAN("dist.reduction");
           lane_buffer.assign(static_cast<std::size_t>(lane_count), 0.0);
           SquaredResidualLaneSums(x, *engine, lane_begin, lane_end,
                                   lane_buffer.data());
@@ -379,7 +392,17 @@ void RunDistWorker(const SparseTensor& x, const PTuckerOptions& options,
           break;
         }
         case DistOpcode::kShutdown: {
-          channel.SendFrame(DistOpcode::kBye, frame.tag, {});
+          // When tracing is on, the farewell carries this worker's span
+          // ring so the coordinator can merge all ranks into one Chrome
+          // trace. In-process workers already share the coordinator's
+          // tracer, so shipping the ring back would double every span.
+          std::vector<std::uint8_t> bye;
+          obs::Tracer& tracer = obs::Tracer::Global();
+          if (tracer.enabled() &&
+              dist.transport != DistTransport::kInProcess) {
+            bye = tracer.SerializeEvents();
+          }
+          channel.SendFrame(DistOpcode::kBye, frame.tag, bye);
           return;
         }
         default:
@@ -580,7 +603,19 @@ DistributedPTuckerResult DistributedPTuckerDecompose(
       transport->Channel(r).SendFrame(DistOpcode::kShutdown, 0, {});
     }
     for (std::int64_t r = 0; r < workers; ++r) {
-      ExpectFrame(transport->Channel(r), r, DistOpcode::kBye, 0);
+      const DistFrame bye =
+          ExpectFrame(transport->Channel(r), r, DistOpcode::kBye, 0);
+      // Merge the worker's spans (pid r+1; the coordinator is pid 0).
+      // Telemetry never fails a finished solve: a malformed payload is
+      // logged and dropped.
+      if (!bye.payload.empty() && obs::Tracer::Global().enabled()) {
+        std::string error;
+        if (!obs::Tracer::Global().ImportSerialized(
+                bye.payload, static_cast<int>(r) + 1, &error)) {
+          PTUCKER_LOG(kWarning) << "worker " << r
+                                << ": undecodable trace payload: " << error;
+        }
+      }
     }
     out.stats.total_comm_bytes = transport->TotalCommBytes();
     out.stats.iterations_run = static_cast<int>(result.iterations.size());

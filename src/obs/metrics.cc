@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ptucker {
+namespace obs {
+
+namespace internal {
+
+std::size_t ThisThreadStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace internal
+
+namespace {
+
+// %.10g keeps bucket labels and sums readable while round-tripping every
+// bound this codebase uses (powers of 2 times powers of 10).
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (!(bounds_[i] < bounds_[i + 1])) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+    }
+  }
+  const std::size_t buckets = bounds_.size() + 1;  // + the +Inf bucket
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets.reset(new std::atomic<std::uint64_t>[buckets]);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      stripe.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  // Bucket i holds observations <= bounds_[i]; past the last finite
+  // bound the observation lands in the implicit +Inf bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Stripe& stripe = stripes_[internal::ThisThreadStripe() % kStripes];
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  // C++17 has no std::atomic<double>::fetch_add; a relaxed CAS loop on
+  // the stripe's private sum is uncontended in steady state.
+  double sum = stripe.sum.load(std::memory_order_relaxed);
+  while (!stripe.sum.compare_exchange_weak(sum, sum + value,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  const std::size_t buckets = bounds_.size() + 1;
+  std::vector<std::uint64_t> per_bucket(buckets, 0);
+  for (const Stripe& stripe : stripes_) {
+    for (std::size_t b = 0; b < buckets; ++b) {
+      per_bucket[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  snapshot.counts.resize(bounds_.size());
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < bounds_.size(); ++b) {
+    running += per_bucket[b];
+    snapshot.counts[b] = running;  // cumulative, the `le` convention
+  }
+  snapshot.count = running + per_bucket[bounds_.size()];
+  return snapshot;
+}
+
+double Histogram::ApproxPercentile(double p) const {
+  const HistogramSnapshot snapshot = Snapshot();
+  if (snapshot.count == 0) return 0.0;
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(p / 100.0 *
+                              static_cast<double>(snapshot.count))));
+  for (std::size_t b = 0; b < snapshot.bounds.size(); ++b) {
+    if (snapshot.counts[b] >= rank) return snapshot.bounds[b];
+  }
+  return snapshot.bounds.back();  // the percentile is in the +Inf bucket
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count < 1) {
+    throw std::invalid_argument(
+        "ExponentialBuckets: need start > 0, factor > 1, count >= 1");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kCounter) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered as a different type");
+    }
+    return it->second.counter.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.help = help;
+  entry.counter.reset(new Counter());
+  return entries_.emplace(name, std::move(entry))
+      .first->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kGauge) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered as a different type");
+    }
+    return it->second.gauge.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.help = help;
+  entry.gauge.reset(new Gauge());
+  return entries_.emplace(name, std::move(entry)).first->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kHistogram) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered as a different type");
+    }
+    if (it->second.histogram->bounds() != bounds) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with different "
+                                  "histogram bounds");
+    }
+    return it->second.histogram.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.help = help;
+  entry.histogram.reset(new Histogram(std::move(bounds)));
+  return entries_.emplace(name, std::move(entry))
+      .first->second.histogram.get();
+}
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string text;
+  for (const auto& named : entries_) {
+    const std::string& name = named.first;
+    const Entry& entry = named.second;
+    text += "# HELP " + name + " " + entry.help + "\n";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        text += "# TYPE " + name + " counter\n";
+        text += name + " " + std::to_string(entry.counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        text += "# TYPE " + name + " gauge\n";
+        text += name + " " + std::to_string(entry.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        text += "# TYPE " + name + " histogram\n";
+        const HistogramSnapshot snapshot = entry.histogram->Snapshot();
+        for (std::size_t b = 0; b < snapshot.bounds.size(); ++b) {
+          text += name + "_bucket{le=\"" + FormatDouble(snapshot.bounds[b]) +
+                  "\"} " + std::to_string(snapshot.counts[b]) + "\n";
+        }
+        text += name + "_bucket{le=\"+Inf\"} " +
+                std::to_string(snapshot.count) + "\n";
+        text += name + "_sum " + FormatDouble(snapshot.sum) + "\n";
+        text += name + "_count " + std::to_string(snapshot.count) + "\n";
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+std::string MetricsRegistry::LogLine() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string line;
+  for (const auto& named : entries_) {
+    const std::string& name = named.first;
+    const Entry& entry = named.second;
+    if (!line.empty()) line += " ";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        line += name + "=" + std::to_string(entry.counter->Value());
+        break;
+      case Kind::kGauge:
+        line += name + "=" + std::to_string(entry.gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snapshot = entry.histogram->Snapshot();
+        line += name + "_count=" + std::to_string(snapshot.count) + " " +
+                name + "_sum=" + FormatDouble(snapshot.sum);
+        break;
+      }
+    }
+  }
+  return line;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace ptucker

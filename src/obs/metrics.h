@@ -1,0 +1,197 @@
+// Unified metrics plane (docs/observability.md): named counters, gauges,
+// and fixed-bucket histograms behind one process-wide registry, exported
+// as Prometheus-style exposition text (METRICS wire opcode, `ptucker_cli
+// stats`, --metrics-log-ms).
+//
+// Hot-path contract: recording is one relaxed atomic increment into a
+// per-thread stripe — no locks, no allocation, no syscalls — and reads
+// merge the stripes. Observability never touches the numeric path: the
+// solver's arithmetic and its deterministic reduction order
+// (util/parallel.h) are unaffected whether metrics are recorded or not,
+// so trajectories stay bit-identical with telemetry on or off (a tested
+// invariant, bench_observability + obs_trace_test).
+#ifndef PTUCKER_OBS_METRICS_H_
+#define PTUCKER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ptucker {
+namespace obs {
+
+namespace internal {
+/// Index of the calling thread's stripe, assigned round-robin at first
+/// use so concurrent writers spread across stripes instead of all
+/// contending on stripe 0.
+std::size_t ThisThreadStripe();
+}  // namespace internal
+
+/// A monotonically increasing counter. Writers increment a per-thread
+/// cache-line-aligned stripe with relaxed atomics (one uncontended RMW);
+/// Value() merges the stripes. Totals are exact regardless of how the
+/// increments were spread over threads.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Adds `delta` (default 1) to this thread's stripe.
+  void Increment(std::uint64_t delta = 1) {
+    stripes_[internal::ThisThreadStripe() % kStripes].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all stripes.
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// A settable instantaneous value (queue depth, staleness). A single
+/// relaxed atomic — gauges are written by one logical owner at a time,
+/// so striping would only blur the latest value.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged histogram state, as read at one instant: cumulative bucket
+/// counts per upper bound (the Prometheus `le` convention: counts[i] is
+/// the number of observations <= bounds[i], the final implicit +Inf
+/// bucket equals `count`), plus the exact sum and count.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< finite bucket upper bounds
+  std::vector<std::uint64_t> counts;   ///< cumulative, one per bound
+  std::uint64_t count = 0;             ///< total observations (+Inf bucket)
+  double sum = 0.0;                    ///< sum of observed values
+};
+
+/// A fixed-bucket latency/size histogram. Observe() finds the bucket by
+/// binary search and bumps a per-thread stripe's bucket counter with a
+/// relaxed atomic (the stripe's sum is a CAS-loop double — C++17 has no
+/// atomic double fetch_add); Snapshot() merges stripes. Bucket bounds
+/// are fixed at construction so concurrent observers never reshape
+/// anything.
+class Histogram {
+ public:
+  /// `bounds` are the finite bucket upper bounds, strictly increasing
+  /// and non-empty (an implicit +Inf bucket always exists). Throws
+  /// std::invalid_argument otherwise.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation.
+  void Observe(double value);
+
+  /// Merged view of all stripes.
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Nearest upper bound covering the p-th percentile of the merged
+  /// counts (`p` in (0, 100]); the last finite bound if the percentile
+  /// lands in the +Inf bucket, 0.0 when empty. A bucketed estimate —
+  /// obs/percentile.h is the exact offline counterpart.
+  double ApproxPercentile(double p) const;
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    // One counter per finite bound + one for the +Inf bucket, heap-held
+    // so the per-histogram footprint scales with the bucket count.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  Stripe stripes_[kStripes];
+};
+
+/// Returns `count` strictly increasing bounds start, start*factor,
+/// start*factor^2, ... — the usual latency-bucket ladder. Throws
+/// std::invalid_argument unless start > 0, factor > 1, count >= 1.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+
+/// Name → metric registry. GetCounter/GetGauge/GetHistogram are
+/// idempotent get-or-create (so instrumentation sites need no init
+/// order) and return pointers that stay valid for the registry's
+/// lifetime; asking for an existing name as a different type (or a
+/// histogram with different bounds) throws std::invalid_argument.
+/// Registration takes a mutex; the returned handles are the lock-free
+/// hot path — cache them, don't re-look-up per event.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Prometheus-style exposition text: `# HELP` / `# TYPE` then the
+  /// samples, names sorted, histograms with cumulative `_bucket{le=...}`
+  /// + `_sum` + `_count` (docs/observability.md documents the format).
+  std::string ExpositionText() const;
+
+  /// One compact `name=value` line (histograms as name_count/name_sum)
+  /// for --metrics-log-ms headless logging.
+  std::string LogLine() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // sorted => stable exposition
+};
+
+/// The process-wide registry every built-in instrumentation site records
+/// into; tests and benches can build private registries for isolation.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace obs
+}  // namespace ptucker
+
+#endif  // PTUCKER_OBS_METRICS_H_

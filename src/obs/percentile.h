@@ -1,11 +1,13 @@
-// Shared latency-percentile helper for the serving benchmarks
-// (bench_serving.cc and bench_serving_net.cc report p50/p99/p999 from
-// the same code so the columns mean the same thing in both tables; the
-// definitions are documented in docs/benchmarks.md). Nearest-rank
-// percentiles over the raw samples — no interpolation, no binning — so
-// a reported p99 is an actually-observed latency.
-#ifndef PTUCKER_BENCH_PERCENTILES_H_
-#define PTUCKER_BENCH_PERCENTILES_H_
+// Shared latency-percentile helpers (docs/observability.md). The serving
+// benchmarks (bench_serving.cc and bench_serving_net.cc) report
+// p50/p99/p999 from this one implementation so the columns mean the same
+// thing in both tables; the definitions are documented in
+// docs/benchmarks.md. Nearest-rank percentiles over the raw samples — no
+// interpolation, no binning — so a reported p99 is an actually-observed
+// latency. (Histogram in obs/metrics.h is the bucketed, lock-free
+// counterpart for live telemetry; this is the exact offline one.)
+#ifndef PTUCKER_OBS_PERCENTILE_H_
+#define PTUCKER_OBS_PERCENTILE_H_
 
 #include <algorithm>
 #include <cmath>
@@ -13,11 +15,11 @@
 #include <vector>
 
 namespace ptucker {
-namespace bench {
+namespace obs {
 
-// Nearest-rank percentile: the smallest sample x such that at least
-// p% of the samples are <= x (ceil(p/100 * N)-th order statistic).
-// `p` in (0, 100]. Returns 0.0 on an empty sample set.
+/// Nearest-rank percentile: the smallest sample x such that at least
+/// p% of the samples are <= x (ceil(p/100 * N)-th order statistic).
+/// `p` in (0, 100]. Returns 0.0 on an empty sample set.
 inline double Percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
   const std::size_t rank = static_cast<std::size_t>(
@@ -29,9 +31,9 @@ inline double Percentile(std::vector<double> samples, double p) {
   return samples[at];
 }
 
-// Accumulates per-request latencies (seconds) and reports the summary
-// the benchmark tables print. Merge per-thread recorders with Merge()
-// before reading percentiles.
+/// Accumulates per-request latencies (seconds) and reports the summary
+/// the benchmark tables print. Merge per-thread recorders with Merge()
+/// before reading percentiles.
 class LatencyRecorder {
  public:
   void Reserve(std::size_t n) { samples_.reserve(n); }
@@ -56,7 +58,7 @@ class LatencyRecorder {
   std::vector<double> samples_;
 };
 
-}  // namespace bench
+}  // namespace obs
 }  // namespace ptucker
 
-#endif  // PTUCKER_BENCH_PERCENTILES_H_
+#endif  // PTUCKER_OBS_PERCENTILE_H_

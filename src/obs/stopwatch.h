@@ -1,12 +1,14 @@
-#ifndef PTUCKER_UTIL_STOPWATCH_H_
-#define PTUCKER_UTIL_STOPWATCH_H_
+#ifndef PTUCKER_OBS_STOPWATCH_H_
+#define PTUCKER_OBS_STOPWATCH_H_
 
 #include <chrono>
 
 namespace ptucker {
 
 /// Wall-clock stopwatch used for per-iteration timing in solvers and
-/// benchmarks. Started on construction.
+/// benchmarks. Started on construction. Lives in src/obs/ with the rest
+/// of the observability primitives (docs/observability.md); kept in the
+/// top-level namespace because every solver and bench names it.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -29,4 +31,4 @@ class Stopwatch {
 
 }  // namespace ptucker
 
-#endif  // PTUCKER_UTIL_STOPWATCH_H_
+#endif  // PTUCKER_OBS_STOPWATCH_H_

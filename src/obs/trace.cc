@@ -1,0 +1,298 @@
+#include "obs/trace.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace ptucker {
+namespace obs {
+
+namespace {
+
+// Little-endian scalar append/read helpers for SerializeEvents — the
+// same byte order the PTKN/PTKD codecs use, kept local because the
+// trace payload is opaque bytes to the wire layer.
+template <typename T>
+void AppendScalar(std::vector<std::uint8_t>* out, T value) {
+  for (std::size_t b = 0; b < sizeof(T); ++b) {
+    out->push_back(static_cast<std::uint8_t>(
+        (static_cast<std::uint64_t>(value) >> (8 * b)) & 0xff));
+  }
+}
+
+template <typename T>
+bool ReadScalar(const std::vector<std::uint8_t>& in, std::size_t* offset,
+                T* value) {
+  if (in.size() - *offset < sizeof(T)) return false;
+  std::uint64_t raw = 0;
+  for (std::size_t b = 0; b < sizeof(T); ++b) {
+    raw |= static_cast<std::uint64_t>(in[*offset + b]) << (8 * b);
+  }
+  *offset += sizeof(T);
+  *value = static_cast<T>(raw);
+  return true;
+}
+
+// JSON string escape for span names. Names are normally dotted literals
+// ("als.factor_update") — this keeps the export valid even if one ever
+// carries a quote or backslash.
+void AppendJsonEscaped(std::string* out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      *out += buffer;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+constexpr std::uint32_t kTraceSerialVersion = 1;
+
+}  // namespace
+
+// A bounded per-thread span log. Only the owning thread writes; the
+// mutex makes cross-thread snapshots race-free and is uncontended on
+// the recording path.
+struct Tracer::Ring {
+  Ring(std::size_t capacity, int tid_in) : events(capacity), tid(tid_in) {}
+
+  std::mutex mutex;
+  std::vector<TraceEvent> events;  // fixed capacity, pre-sized
+  std::size_t next = 0;            // write cursor
+  std::size_t size = 0;            // valid events, <= events.size()
+  std::uint64_t dropped = 0;       // overwritten-oldest count
+  int tid = 0;
+};
+
+namespace {
+std::atomic<std::uint64_t> g_tracer_ids{1};
+}  // namespace
+
+Tracer::Tracer() : id_(g_tracer_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::int64_t Tracer::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Tracer::SetCapacity(std::size_t events) {
+  capacity_.store(events == 0 ? 1 : events, std::memory_order_relaxed);
+}
+
+Tracer::Ring* Tracer::ThisThreadRing() {
+  // The cache is keyed on the tracer's unique id, not just its address,
+  // so a test tracer reallocated at a dead tracer's address never
+  // inherits a stale ring pointer.
+  struct Cache {
+    std::uint64_t tracer_id = 0;
+    Ring* ring = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.tracer_id == id_ && cache.ring != nullptr) return cache.ring;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  rings_.emplace_back(
+      new Ring(capacity_.load(std::memory_order_relaxed), next_tid_++));
+  cache.tracer_id = id_;
+  cache.ring = rings_.back().get();
+  return cache.ring;
+}
+
+void Tracer::Record(const char* name, std::int64_t ts_us,
+                    std::int64_t dur_us) {
+  if (!enabled()) return;
+  Ring* ring = ThisThreadRing();
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  TraceEvent& slot = ring->events[ring->next];
+  if (ring->size == ring->events.size()) {
+    ++ring->dropped;  // overwriting the oldest buffered event
+  } else {
+    ++ring->size;
+  }
+  slot.name = name;
+  slot.ts_us = ts_us;
+  slot.dur_us = dur_us;
+  slot.pid = 0;
+  slot.tid = ring->tid;
+  ring->next = (ring->next + 1) % ring->events.size();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    for (std::size_t i = 0; i < ring->size; ++i) {
+      events.push_back(ring->events[i]);
+    }
+  }
+  events.insert(events.end(), imported_.begin(), imported_.end());
+  return events;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total + imported_dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->next = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+  }
+  imported_.clear();
+  imported_dropped_ = 0;
+  // interned_ is deliberately kept: TraceEvent snapshots taken before
+  // the Clear() may still point at those names.
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string json = "{\"traceEvents\":[";
+  char buffer[128];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i != 0) json += ",";
+    json += "\n{\"name\":\"";
+    AppendJsonEscaped(&json, event.name);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"cat\":\"ptucker\",\"ph\":\"X\",\"ts\":%lld,"
+                  "\"dur\":%lld,\"pid\":%d,\"tid\":%d}",
+                  static_cast<long long>(event.ts_us),
+                  static_cast<long long>(event.dur_us), event.pid,
+                  event.tid);
+    json += buffer;
+  }
+  json += "\n]}\n";
+  return json;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path,
+                              std::string* error) const {
+  const std::string json = ChromeTraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!(ok && closed)) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> Tracer::SerializeEvents() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::vector<std::uint8_t> payload;
+  AppendScalar<std::uint32_t>(&payload, kTraceSerialVersion);
+  AppendScalar<std::uint64_t>(&payload, dropped());
+  AppendScalar<std::uint32_t>(&payload,
+                              static_cast<std::uint32_t>(events.size()));
+  for (const TraceEvent& event : events) {
+    const std::size_t name_len = std::strlen(event.name);
+    const std::uint16_t clamped = static_cast<std::uint16_t>(
+        name_len > 0xffff ? 0xffff : name_len);
+    AppendScalar<std::uint16_t>(&payload, clamped);
+    payload.insert(payload.end(),
+                   reinterpret_cast<const std::uint8_t*>(event.name),
+                   reinterpret_cast<const std::uint8_t*>(event.name) +
+                       clamped);
+    AppendScalar<std::int64_t>(&payload, event.ts_us);
+    AppendScalar<std::int64_t>(&payload, event.dur_us);
+    AppendScalar<std::uint32_t>(&payload,
+                                static_cast<std::uint32_t>(event.tid));
+  }
+  return payload;
+}
+
+bool Tracer::ImportSerialized(const std::vector<std::uint8_t>& payload,
+                              int pid, std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  std::size_t offset = 0;
+  std::uint32_t version = 0;
+  std::uint64_t dropped = 0;
+  std::uint32_t count = 0;
+  if (!ReadScalar(payload, &offset, &version)) {
+    return fail("trace payload truncated in header");
+  }
+  if (version != kTraceSerialVersion) {
+    return fail("unsupported trace payload version");
+  }
+  if (!ReadScalar(payload, &offset, &dropped) ||
+      !ReadScalar(payload, &offset, &count)) {
+    return fail("trace payload truncated in header");
+  }
+  // Names repeat heavily (a handful of span labels times thousands of
+  // events) — intern each distinct one once per import.
+  std::map<std::string, const char*> names;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  imported_dropped_ += dropped;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint16_t name_len = 0;
+    if (!ReadScalar(payload, &offset, &name_len)) {
+      return fail("trace payload truncated in event name length");
+    }
+    if (payload.size() - offset < name_len) {
+      return fail("trace payload truncated in event name");
+    }
+    std::string name(reinterpret_cast<const char*>(payload.data()) + offset,
+                     name_len);
+    offset += name_len;
+    TraceEvent event;
+    std::uint32_t tid = 0;
+    if (!ReadScalar(payload, &offset, &event.ts_us) ||
+        !ReadScalar(payload, &offset, &event.dur_us) ||
+        !ReadScalar(payload, &offset, &tid)) {
+      return fail("trace payload truncated in event body");
+    }
+    auto it = names.find(name);
+    if (it == names.end()) {
+      interned_.push_back(std::move(name));
+      it = names.emplace(interned_.back(), interned_.back().c_str()).first;
+    }
+    event.name = it->second;
+    event.pid = pid;
+    event.tid = static_cast<int>(tid);
+    imported_.push_back(event);
+  }
+  if (offset != payload.size()) {
+    return fail("trace payload has trailing bytes");
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace ptucker

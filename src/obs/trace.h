@@ -1,0 +1,155 @@
+// Span tracing (docs/observability.md): `PTUCKER_TRACE_SPAN("als.x")`
+// records a timestamped begin/duration event into a bounded per-thread
+// ring buffer when tracing is enabled (a relaxed atomic load when it is
+// not — the default — so instrumented code paths cost nothing in
+// production). Events export as Chrome trace-event JSON
+// (chrome://tracing, Perfetto) via --trace-out, and serialize compactly
+// so distributed workers can ship their rings to the coordinator in the
+// kBye shutdown frame for one merged per-rank timeline.
+//
+// Tracing is observability only: it never touches solver arithmetic, so
+// trajectories with tracing on are bit-identical to tracing off (tested
+// in obs_trace_test and gated in bench_observability).
+#ifndef PTUCKER_OBS_TRACE_H_
+#define PTUCKER_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ptucker {
+namespace obs {
+
+/// One completed span. `name` points at a string literal or at storage
+/// interned by the owning Tracer — it is never freed per event.
+struct TraceEvent {
+  const char* name;      ///< span label, e.g. "als.factor_update"
+  std::int64_t ts_us;    ///< begin, microseconds on the steady clock
+  std::int64_t dur_us;   ///< duration in microseconds
+  int pid;               ///< 0 = this process; worker rank + 1 on import
+  int tid;               ///< small sequential id per recording thread
+};
+
+/// Collects spans into bounded per-thread ring buffers. Recording takes
+/// the ring's own mutex — uncontended, since only the owning thread
+/// writes it — so Snapshot()/export from another thread is race-free
+/// (the rings are coarse span logs, not per-entry counters; the metrics
+/// plane in obs/metrics.h is the lock-free hot path).
+///
+/// When a ring is full the oldest event is overwritten and counted in
+/// dropped() — recording never blocks, reallocates, or invokes UB.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every PTUCKER_TRACE_SPAN records into.
+  static Tracer& Global();
+
+  /// Microseconds on the steady clock (CLOCK_MONOTONIC — system-wide on
+  /// Linux, so timestamps from forked workers align with the
+  /// coordinator's in a merged timeline).
+  static std::int64_t NowMicros();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Per-thread ring capacity in events for rings created after the
+  /// call (existing rings keep their size). Default 8192.
+  void SetCapacity(std::size_t events);
+
+  /// Records one completed span into this thread's ring. `name` must
+  /// outlive the tracer (string literals do). No-op while disabled.
+  void Record(const char* name, std::int64_t ts_us, std::int64_t dur_us);
+
+  /// All buffered events across threads, in no particular order
+  /// (Chrome sorts by timestamp). Safe concurrent with recording.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events overwritten because their ring was full, summed over rings.
+  std::uint64_t dropped() const;
+
+  /// Empties every ring and the dropped counters; rings stay registered
+  /// so cached thread-local pointers remain valid.
+  void Clear();
+
+  /// The full buffer as Chrome trace-event JSON ("X" complete events).
+  std::string ChromeTraceJson() const;
+
+  /// Writes ChromeTraceJson() to `path`; false + `*error` on I/O error.
+  bool WriteChromeTrace(const std::string& path, std::string* error) const;
+
+  /// Compact binary form of Snapshot() + dropped() (little-endian; the
+  /// kBye payload of the distributed protocol). Never fails.
+  std::vector<std::uint8_t> SerializeEvents() const;
+
+  /// Merges a SerializeEvents() payload into this tracer, stamping every
+  /// imported event with `pid` (worker rank + 1 by convention; 0 is the
+  /// importing process). Names are interned into tracer-owned storage.
+  /// Returns false and sets `*error` on a malformed payload, leaving
+  /// already-imported prefix events in place.
+  bool ImportSerialized(const std::vector<std::uint8_t>& payload, int pid,
+                        std::string* error);
+
+ private:
+  struct Ring;
+  Ring* ThisThreadRing();
+
+  const std::uint64_t id_;            // distinguishes tracer instances
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{8192};
+
+  mutable std::mutex registry_mutex_;  // guards rings_, interned_, tids
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::deque<std::string> interned_;   // stable storage for imported names
+  std::vector<TraceEvent> imported_;   // events merged from other processes
+  std::uint64_t imported_dropped_ = 0;
+  int next_tid_ = 1;
+};
+
+/// RAII span: stamps the start time at construction (only if the tracer
+/// is enabled) and records on destruction. Use via PTUCKER_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Tracer* tracer = nullptr)
+      : tracer_(tracer != nullptr ? tracer : &Tracer::Global()),
+        name_(name),
+        active_(tracer_->enabled()) {
+    if (active_) start_us_ = Tracer::NowMicros();
+  }
+  ~TraceSpan() {
+    if (active_) {
+      tracer_->Record(name_, start_us_, Tracer::NowMicros() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  bool active_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ptucker
+
+#define PTUCKER_OBS_CONCAT_INNER(a, b) a##b
+#define PTUCKER_OBS_CONCAT(a, b) PTUCKER_OBS_CONCAT_INNER(a, b)
+
+/// Traces the enclosing scope as one span named `name` (a string
+/// literal) in the global tracer. Costs one relaxed load when tracing
+/// is disabled.
+#define PTUCKER_TRACE_SPAN(name)                                     \
+  ::ptucker::obs::TraceSpan PTUCKER_OBS_CONCAT(ptucker_trace_span_, \
+                                               __LINE__)(name)
+
+#endif  // PTUCKER_OBS_TRACE_H_

@@ -156,4 +156,16 @@ std::vector<std::uint64_t> NetClient::Stats() {
   return counters;
 }
 
+std::string NetClient::Metrics() {
+  const std::uint64_t id = next_id_++;
+  const WireFrame frame =
+      RoundTrip(EncodeEmptyFrame(Opcode::kMetrics, id), id);
+  std::string text;
+  std::string error;
+  if (!ParseMetricsReply(frame, &text, &error)) {
+    throw std::runtime_error("net-client: " + error);
+  }
+  return text;
+}
+
 }  // namespace ptucker

@@ -40,6 +40,10 @@ class NetClient {
   /// The server's counter vector (see ServerStats::ToVector order).
   std::vector<std::uint64_t> Stats();
 
+  /// The server's self-describing telemetry: Prometheus-style
+  /// exposition text from the METRICS opcode (docs/observability.md).
+  std::string Metrics();
+
   /// Ships raw bytes as-is (hostile-input tests).
   void SendBytes(const std::uint8_t* data, std::size_t size);
 

@@ -5,7 +5,18 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace ptucker {
+
+// ServerStats is exactly its atomic counters, one per catalog row — so
+// adding a field without extending kServerStatsFields (and ToVector()
+// below, and the docs/serving.md table) fails right here instead of
+// silently shipping an undocumented wire index.
+static_assert(sizeof(ServerStats) ==
+                  kServerStatsFieldCount * sizeof(std::atomic<std::uint64_t>),
+              "ServerStats fields and kServerStatsFields disagree: update "
+              "the catalog, ToVector(), and docs/serving.md together");
 
 std::vector<std::uint64_t> ServerStats::ToVector() const {
   return {connections_accepted.load(std::memory_order_relaxed),
@@ -28,8 +39,12 @@ void ServerStats::ObserveBatch(std::uint64_t size) {
 }
 
 BatchCoalescer::BatchCoalescer(PredictionService* service, ServerStats* stats,
-                               const Options& options)
-    : service_(service), stats_(stats), options_(options) {
+                               const Options& options,
+                               const ServeNetMetrics* metrics)
+    : service_(service),
+      stats_(stats),
+      options_(options),
+      metrics_(metrics != nullptr ? *metrics : ServeNetMetrics::Global()) {
   if (service_ == nullptr || stats_ == nullptr) {
     throw std::invalid_argument("coalescer: service and stats are required");
   }
@@ -76,6 +91,9 @@ bool BatchCoalescer::TryPush(NetRequest&& request) {
     if (static_cast<std::int64_t>(queue_.size()) < options_.queue_capacity) {
       queue_.push_back(std::move(request));
       pushed = true;
+      if (metrics_.queue_depth != nullptr) {
+        metrics_.queue_depth->Set(static_cast<std::int64_t>(queue_.size()));
+      }
     }
   }
   if (pushed) {
@@ -124,6 +142,9 @@ void BatchCoalescer::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      if (metrics_.queue_depth != nullptr) {
+        metrics_.queue_depth->Set(static_cast<std::int64_t>(queue_.size()));
+      }
     }
     // Wake stalled readers outside the lock: the queue just lost
     // max_batch entries, so refused producers can resume.
@@ -137,10 +158,26 @@ void BatchCoalescer::WorkerLoop() {
 
 void BatchCoalescer::ProcessBatch(std::vector<NetRequest>* batch) {
   if (batch->empty()) return;
+  PTUCKER_TRACE_SPAN("serve.batch");
   stats_->batches_executed.fetch_add(1, std::memory_order_relaxed);
   stats_->batched_entries.fetch_add(batch->size(),
                                     std::memory_order_relaxed);
   stats_->ObserveBatch(batch->size());
+  if (metrics_.batch_size != nullptr) {
+    metrics_.batch_size->Observe(static_cast<double>(batch->size()));
+  }
+  // Enqueue-to-reply latency, recorded right after each reply is posted
+  // (the client-visible completion point on the server side).
+  const auto observe_latency = [this](const NetRequest& request) {
+    obs::Histogram* histogram = request.opcode == Opcode::kTopK
+                                    ? metrics_.topk_latency
+                                    : metrics_.predict_latency;
+    if (histogram != nullptr && request.enqueue_us > 0) {
+      histogram->Observe(
+          static_cast<double>(obs::Tracer::NowMicros() - request.enqueue_us) *
+          1e-6);
+    }
+  };
 
   // One snapshot for the whole batch: a PredictionService pinned to the
   // atomically-grabbed snapshot guarantees validation and execution see
@@ -192,6 +229,7 @@ void BatchCoalescer::ProcessBatch(std::vector<NetRequest>* batch) {
           request.connection_id,
           EncodeErrorReply(request.opcode, request.request_id,
                            WireStatus::kBadRequest, error));
+      observe_latency(request);
       continue;
     }
     (request.opcode == Opcode::kTopK ? topks : predicts).push_back(&request);
@@ -221,6 +259,7 @@ void BatchCoalescer::ProcessBatch(std::vector<NetRequest>* batch) {
       predicts[i]->sink->PostReply(
           predicts[i]->connection_id,
           EncodePredictReply(predicts[i]->request_id, out[i]));
+      observe_latency(*predicts[i]);
     }
   }
 
@@ -233,12 +272,14 @@ void BatchCoalescer::ProcessBatch(std::vector<NetRequest>* batch) {
       stats_->topks_served.fetch_add(1, std::memory_order_relaxed);
       request->sink->PostReply(request->connection_id,
                                EncodeTopKReply(request->request_id, results));
+      observe_latency(*request);
     } catch (const std::exception& e) {
       stats_->errors_sent.fetch_add(1, std::memory_order_relaxed);
       request->sink->PostReply(
           request->connection_id,
           EncodeErrorReply(Opcode::kTopK, request->request_id,
                            WireStatus::kInternal, e.what()));
+      observe_latency(*request);
     }
   }
 }

@@ -25,10 +25,40 @@
 #include <thread>
 #include <vector>
 
+#include "serve/net/net_metrics.h"
 #include "serve/net/wire.h"
 #include "serve/service.h"
 
 namespace ptucker {
+
+/// One row of the STATS counter catalog: the wire index is the row's
+/// position in kServerStatsFields, the same order ToVector() encodes.
+struct ServerStatsField {
+  const char* name;  ///< snake_case counter name (docs/serving.md table)
+  const char* help;  ///< one-line meaning
+};
+
+/// The STATS payload catalog, one row per ServerStats counter in wire
+/// order. The static_assert next to ToVector() pins the ServerStats
+/// field count to this table, so appending a counter without extending
+/// both the encoder and this documentation fails to compile. The
+/// generated table in docs/serving.md mirrors these rows.
+constexpr ServerStatsField kServerStatsFields[] = {
+    {"connections_accepted", "TCP connections accepted across all loops"},
+    {"requests_received", "wire frames dispatched (all opcodes)"},
+    {"predicts_served", "PREDICT requests answered OK"},
+    {"topks_served", "TOPK requests answered OK"},
+    {"pings_served", "PING frames answered"},
+    {"errors_sent", "error replies of any status"},
+    {"batches_executed", "coalesced batches run by the workers"},
+    {"batched_entries", "requests executed inside those batches"},
+    {"max_batch_observed", "widest batch executed so far (not monotonic-add)"},
+    {"overloads_shed", "parked requests answered OVERLOADED"},
+};
+
+/// Number of STATS counters on the wire (and ServerStats fields).
+constexpr std::size_t kServerStatsFieldCount =
+    sizeof(kServerStatsFields) / sizeof(kServerStatsFields[0]);
 
 /// Server-wide monotonic counters, updated with relaxed atomics from
 /// the loop and worker threads and snapshot-read by the STATS opcode.
@@ -80,6 +110,8 @@ struct NetRequest {
   std::vector<std::int64_t> coords; ///< query coordinate, 0-based
   std::int64_t mode = 0;            ///< top-K: scanned mode
   std::int64_t k = 0;               ///< top-K: result count
+  std::int64_t enqueue_us = 0;      ///< decode time (obs::Tracer::NowMicros)
+                                    ///< for the latency histograms
 };
 
 /// The bounded MPSC queue + worker pool. Producers are event-loop
@@ -96,9 +128,15 @@ class BatchCoalescer {
   };
 
   /// `service` and `stats` must outlive the coalescer. Throws
-  /// std::invalid_argument on out-of-range options.
+  /// std::invalid_argument on out-of-range options. `metrics` selects
+  /// the telemetry bundle: nullptr (the default) records into the
+  /// process-wide registry via ServeNetMetrics::Global(); pass a bundle
+  /// built over a private registry for isolation, or one built over a
+  /// null registry to turn recording off (bench_observability's
+  /// baseline).
   BatchCoalescer(PredictionService* service, ServerStats* stats,
-                 const Options& options);
+                 const Options& options,
+                 const ServeNetMetrics* metrics = nullptr);
   ~BatchCoalescer();
 
   /// Spawns `workers` (>= 1) batch-execution threads.
@@ -131,6 +169,7 @@ class BatchCoalescer {
   PredictionService* const service_;
   ServerStats* const stats_;
   const Options options_;
+  const ServeNetMetrics metrics_;
   std::function<void()> space_callback_;
 
   mutable std::mutex mu_;

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace ptucker {
 
 namespace {
@@ -73,11 +75,12 @@ int CreateListenSocket(int* port, int backlog) {
 
 EventLoop::EventLoop(int listen_fd, BatchCoalescer* coalescer,
                      ServerStats* stats, std::uint64_t id_base,
-                     const Options& options)
+                     const Options& options, const ServeNetMetrics* metrics)
     : listen_fd_(listen_fd),
       coalescer_(coalescer),
       stats_(stats),
       options_(options),
+      metrics_(metrics != nullptr ? *metrics : ServeNetMetrics::Global()),
       next_id_(id_base + 1) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
@@ -279,6 +282,7 @@ void EventLoop::ParseInput(Connection* conn) {
 
 bool EventLoop::HandleFrame(Connection* conn, WireFrame&& frame) {
   stats_->requests_received.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.requests_total != nullptr) metrics_.requests_total->Increment();
   if (frame.status != WireStatus::kOk) {
     FailConnection(conn, frame.opcode, frame.request_id,
                    "request status byte must be zero");
@@ -294,6 +298,16 @@ bool EventLoop::HandleFrame(Connection* conn, WireFrame&& frame) {
     case Opcode::kStats:
       QueueReply(conn,
                  EncodeStatsReply(frame.request_id, stats_->ToVector()));
+      return true;
+    case Opcode::kMetrics:
+      // Self-describing telemetry, answered inline like STATS. A null
+      // registry (telemetry off) serves empty exposition text — still a
+      // valid reply, so clients need no special case.
+      QueueReply(conn,
+                 EncodeMetricsReply(frame.request_id,
+                                    metrics_.registry != nullptr
+                                        ? metrics_.registry->ExpositionText()
+                                        : std::string()));
       return true;
     case Opcode::kPredict: {
       PredictRequest request;
@@ -311,6 +325,7 @@ bool EventLoop::HandleFrame(Connection* conn, WireFrame&& frame) {
       net.request_id = frame.request_id;
       net.opcode = Opcode::kPredict;
       net.coords = std::move(request.coords);
+      net.enqueue_us = obs::Tracer::NowMicros();
       return PushOrDefer(conn, std::move(net));
     }
     case Opcode::kTopK: {
@@ -330,6 +345,7 @@ bool EventLoop::HandleFrame(Connection* conn, WireFrame&& frame) {
       net.mode = request.mode;
       net.k = request.k;
       net.coords = std::move(request.coords);
+      net.enqueue_us = obs::Tracer::NowMicros();
       return PushOrDefer(conn, std::move(net));
     }
   }
@@ -338,6 +354,7 @@ bool EventLoop::HandleFrame(Connection* conn, WireFrame&& frame) {
 
 bool EventLoop::PushOrDefer(Connection* conn, NetRequest&& request) {
   if (coalescer_->TryPush(std::move(request))) return true;
+  if (metrics_.parked_total != nullptr) metrics_.parked_total->Increment();
   // Queue full: park the decoded request on its connection and stop
   // reading that socket — TCP flow control now pushes back on the
   // client. NotifyQueueSpace retries when a worker drains the queue;
@@ -357,6 +374,7 @@ bool EventLoop::PushOrDefer(Connection* conn, NetRequest&& request) {
 void EventLoop::ShedDeferred(Connection* conn) {
   stats_->overloads_shed.fetch_add(1, std::memory_order_relaxed);
   stats_->errors_sent.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.shed_total != nullptr) metrics_.shed_total->Increment();
   QueueReply(conn,
              EncodeErrorReply(conn->deferred.opcode, conn->deferred.request_id,
                               WireStatus::kOverloaded,

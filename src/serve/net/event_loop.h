@@ -52,8 +52,12 @@ class EventLoop : public ReplySink {
   /// connection ids unique across loops (each loop allocates
   /// monotonically above its base; ids are never reused, so a reply for
   /// a closed connection can never alias a new one the way raw fds do).
+  /// `metrics` selects the telemetry bundle (nullptr = the process-wide
+  /// ServeNetMetrics::Global()); the METRICS opcode serves that
+  /// bundle's registry.
   EventLoop(int listen_fd, BatchCoalescer* coalescer, ServerStats* stats,
-            std::uint64_t id_base, const Options& options);
+            std::uint64_t id_base, const Options& options,
+            const ServeNetMetrics* metrics = nullptr);
   ~EventLoop() override;
 
   /// The reactor: blocks until Stop(). Closes every connection and the
@@ -132,6 +136,7 @@ class EventLoop : public ReplySink {
   BatchCoalescer* const coalescer_;
   ServerStats* const stats_;
   const Options options_;
+  const ServeNetMetrics metrics_;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::uint64_t next_id_;

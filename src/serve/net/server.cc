@@ -23,7 +23,10 @@ void CheckRange(const char* field, std::int64_t value, std::int64_t lo,
 
 NetServer::NetServer(std::shared_ptr<PredictionService> service,
                      const NetServerOptions& options)
-    : service_(std::move(service)), options_(options) {
+    : service_(std::move(service)),
+      options_(options),
+      metrics_(options.metrics_registry != nullptr ? options.metrics_registry
+                                                   : &obs::GlobalMetrics()) {
   if (service_ == nullptr) {
     throw std::invalid_argument("serve-net: service must be non-null");
   }
@@ -64,7 +67,7 @@ void NetServer::Start() {
   coalescer_options.batch_window_us = options_.batch_window_us;
   coalescer_options.queue_capacity = options_.queue_capacity;
   coalescer_ = std::make_unique<BatchCoalescer>(service_.get(), &stats_,
-                                                coalescer_options);
+                                                coalescer_options, &metrics_);
 
   EventLoop::Options loop_options;
   loop_options.overload_timeout_ms = options_.overload_timeout_ms;
@@ -74,7 +77,7 @@ void NetServer::Start() {
     // in the top bits, each loop counts monotonically below it.
     loops_.push_back(std::make_unique<EventLoop>(
         listeners[static_cast<std::size_t>(t)], coalescer_.get(), &stats_,
-        static_cast<std::uint64_t>(t + 1) << 48, loop_options));
+        static_cast<std::uint64_t>(t + 1) << 48, loop_options, &metrics_));
   }
   coalescer_->SetSpaceCallback([this] {
     for (const auto& loop : loops_) loop->NotifyQueueSpace();

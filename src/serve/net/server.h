@@ -40,6 +40,11 @@ struct NetServerOptions {
   /// (pure TCP backpressure), 0 sheds immediately, > 0 sheds after the
   /// deadline with a kOverloaded reply. See EventLoop::Options.
   std::int64_t overload_timeout_ms = -1;
+  /// Registry the server's telemetry records into and the METRICS
+  /// opcode serves. nullptr (the default) uses the process-wide
+  /// obs::GlobalMetrics(); benches pass per-server registries so two
+  /// servers in one process do not blend counters.
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 /// Owns the loops, the coalescer, and their threads. The service stays
@@ -78,6 +83,7 @@ class NetServer {
   int port_ = 0;
   bool running_ = false;
   ServerStats stats_;
+  ServeNetMetrics metrics_;
   std::unique_ptr<BatchCoalescer> coalescer_;
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::vector<std::thread> loop_threads_;

@@ -8,7 +8,7 @@ namespace {
 // error (the stream may be garbage, so the connection is torn down).
 bool KnownOpcode(std::uint8_t value) {
   return value >= static_cast<std::uint8_t>(Opcode::kPredict) &&
-         value <= static_cast<std::uint8_t>(Opcode::kStats);
+         value <= static_cast<std::uint8_t>(Opcode::kMetrics);
 }
 
 }  // namespace
@@ -232,6 +232,36 @@ bool ParseStatsReply(const WireFrame& frame,
   for (std::uint32_t c = 0; c < count; ++c) {
     (*counters)[c] = ReadU64(frame.payload.data() + 4 + c * 8);
   }
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeMetricsReply(std::uint64_t request_id,
+                                             const std::string& text) {
+  // The exposition text is served verbatim — the payload cap bounds it
+  // the same way it bounds a top-K reply. A registry would need
+  // thousands of metrics to approach 1 MiB; truncation here would be a
+  // parse error on the client, so oversized text is a programming error
+  // EncodeFrameHeader's length check turns into a loud throw.
+  std::vector<std::uint8_t> out;
+  EncodeFrame(Opcode::kMetrics, WireStatus::kOk, request_id,
+              reinterpret_cast<const std::uint8_t*>(text.data()), text.size(),
+              &out);
+  return out;
+}
+
+bool ParseMetricsReply(const WireFrame& frame, std::string* text,
+                       std::string* error) {
+  if (frame.status != WireStatus::kOk) {
+    *error = "server error " +
+             std::to_string(static_cast<unsigned>(frame.status)) + ": " +
+             std::string(frame.payload.begin(), frame.payload.end());
+    return false;
+  }
+  if (frame.opcode != Opcode::kMetrics) {
+    *error = "malformed metrics reply";
+    return false;
+  }
+  text->assign(frame.payload.begin(), frame.payload.end());
   return true;
 }
 

@@ -56,6 +56,9 @@ enum class Opcode : std::uint8_t {
   kTopK = 2,     ///< top-K along one mode; reply payload = scored list
   kPing = 3,     ///< liveness probe; empty payload both ways
   kStats = 4,    ///< server counters; reply payload = u64 counter vector
+  kMetrics = 5,  ///< self-describing telemetry; reply payload = UTF-8
+                 ///< Prometheus-style exposition text
+                 ///< (docs/observability.md)
 };
 
 /// Reply status codes (the `status` header byte). Values are wire
@@ -154,6 +157,10 @@ std::vector<std::uint8_t> EncodeStatsReply(
     std::uint64_t request_id, const std::vector<std::uint64_t>& counters);
 bool ParseStatsReply(const WireFrame& frame,
                      std::vector<std::uint64_t>* counters, std::string* error);
+std::vector<std::uint8_t> EncodeMetricsReply(std::uint64_t request_id,
+                                             const std::string& text);
+bool ParseMetricsReply(const WireFrame& frame, std::string* text,
+                       std::string* error);
 std::vector<std::uint8_t> EncodeEmptyFrame(Opcode opcode,
                                            std::uint64_t request_id);
 std::vector<std::uint8_t> EncodeErrorReply(Opcode opcode,

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "core/row_update.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "serve/snapshot_v2.h"
 #include "tensor/index.h"
 
@@ -99,6 +101,27 @@ IngestPipeline::IngestPipeline(SparseTensor tensor, TuckerFactorization model,
 
   core_list_ = std::make_unique<CoreEntryList>(model_.core);
   RebuildEngine();
+
+  ops_at_last_publish_ = ops_applied_;
+  if (options_.metrics_registry != nullptr) {
+    obs::MetricsRegistry& registry = *options_.metrics_registry;
+    metric_events_ = registry.GetCounter(
+        "ptucker_stream_events_applied_total",
+        "Mutations folded into the live tensor by flushes.");
+    metric_checkpoints_ = registry.GetCounter(
+        "ptucker_stream_checkpoints_total",
+        "Checkpoints written (and published when a service is attached).");
+    metric_pending_ = registry.GetGauge(
+        "ptucker_stream_pending_events",
+        "Mutations buffered but not yet applied (ingest lag in events).");
+    metric_staleness_ = registry.GetGauge(
+        "ptucker_stream_publish_staleness_ops",
+        "Applied mutations not yet covered by a published checkpoint.");
+    metric_flush_seconds_ = registry.GetHistogram(
+        "ptucker_stream_flush_seconds",
+        "Wall time of each flush (apply + touched-row re-solves).",
+        obs::ExponentialBuckets(1e-5, 2.0, 20));
+  }
 }
 
 IngestPipeline::~IngestPipeline() = default;
@@ -125,6 +148,7 @@ void IngestPipeline::Append(const std::vector<std::int64_t>& index,
   event.index = index;
   event.value = value;
   pending_.push_back(std::move(event));
+  if (metric_pending_ != nullptr) metric_pending_->Set(pending());
   if (pending() >= options_.flush_every) Flush();
 }
 
@@ -141,6 +165,7 @@ void IngestPipeline::Update(const std::vector<std::int64_t>& index,
   event.index = index;
   event.value = value;
   pending_.push_back(std::move(event));
+  if (metric_pending_ != nullptr) metric_pending_->Set(pending());
   if (pending() >= options_.flush_every) Flush();
 }
 
@@ -155,6 +180,7 @@ void IngestPipeline::Delete(const std::vector<std::int64_t>& index) {
   event.op = StreamOp::kDelete;
   event.index = index;
   pending_.push_back(std::move(event));
+  if (metric_pending_ != nullptr) metric_pending_->Set(pending());
   if (pending() >= options_.flush_every) Flush();
 }
 
@@ -175,6 +201,8 @@ void IngestPipeline::Apply(const StreamEvent& event) {
 
 void IngestPipeline::Flush() {
   if (pending_.empty()) return;
+  PTUCKER_TRACE_SPAN("stream.flush");
+  Stopwatch flush_clock;
   const std::int64_t order = tensor_.order();
 
   // Apply the buffered mutations to Ω in arrival order. Deletes only
@@ -219,8 +247,12 @@ void IngestPipeline::Flush() {
   }
   if (!tensor_.has_mode_index()) tensor_.BuildModeIndex();
 
+  if (metric_events_ != nullptr) {
+    metric_events_->Increment(static_cast<std::uint64_t>(pending()));
+  }
   ops_applied_ += pending();
   pending_.clear();
+  if (metric_pending_ != nullptr) metric_pending_->Set(0);
 
   // Engines with Ω-keyed derived state (the Pres table) see a different
   // entry set now; value-only batches keep the engine as-is.
@@ -239,6 +271,13 @@ void IngestPipeline::Flush() {
       WriteCheckpoint(next_seq_);
     }
   }
+
+  if (metric_flush_seconds_ != nullptr) {
+    metric_flush_seconds_->Observe(flush_clock.ElapsedSeconds());
+  }
+  if (metric_staleness_ != nullptr) {
+    metric_staleness_->Set(ops_applied_ - ops_at_last_publish_);
+  }
 }
 
 std::int64_t IngestPipeline::Checkpoint() {
@@ -249,6 +288,7 @@ std::int64_t IngestPipeline::Checkpoint() {
 }
 
 void IngestPipeline::WriteCheckpoint(std::int64_t seq) {
+  PTUCKER_TRACE_SPAN("stream.checkpoint");
   std::string snapshot_path;
   if (!options_.checkpoint_dir.empty()) {
     const std::string file = CheckpointFileName(seq);
@@ -279,6 +319,9 @@ void IngestPipeline::WriteCheckpoint(std::int64_t seq) {
     }
   }
   ++checkpoints_written_;
+  ops_at_last_publish_ = ops_applied_;
+  if (metric_checkpoints_ != nullptr) metric_checkpoints_->Increment();
+  if (metric_staleness_ != nullptr) metric_staleness_->Set(0);
 }
 
 void IngestPipeline::RebuildKeyMap() {

@@ -24,6 +24,7 @@
 
 #include "core/delta_engine.h"
 #include "core/ptucker.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 #include "stream/event_log.h"
 #include "tensor/sparse_tensor.h"
@@ -86,6 +87,12 @@ struct IngestOptions {
   /// resuming from a checkpoint's MANIFEST so the checkpoint cadence
   /// continues where the crashed run left off.
   std::int64_t ops_already_applied = 0;
+
+  /// Registry the pipeline's telemetry records into (applied-event and
+  /// checkpoint counters, pending-event and publish-staleness gauges,
+  /// flush-duration histogram — docs/observability.md). nullptr
+  /// disables stream telemetry entirely.
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 /// A durable checkpoint as recorded in a checkpoint directory MANIFEST.
@@ -183,6 +190,15 @@ class IngestPipeline {
 
   std::unique_ptr<CoreEntryList> core_list_;
   std::unique_ptr<DeltaEngine> engine_;
+
+  // Telemetry handles, all null when options_.metrics_registry is null
+  // (every update site null-checks, so telemetry off costs one branch).
+  obs::Counter* metric_events_ = nullptr;
+  obs::Counter* metric_checkpoints_ = nullptr;
+  obs::Gauge* metric_pending_ = nullptr;
+  obs::Gauge* metric_staleness_ = nullptr;
+  obs::Histogram* metric_flush_seconds_ = nullptr;
+  std::int64_t ops_at_last_publish_ = 0;
 };
 
 /// Reads the MANIFEST in `dir` into `info`. Returns false when no

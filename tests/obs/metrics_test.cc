@@ -1,0 +1,217 @@
+// obs/metrics.h: the lock-free metrics plane. Counters and histograms
+// must be exact under concurrent writers at every thread count (striped
+// relaxed atomics merged on read lose nothing), registry get-or-create
+// must be idempotent but loud on type/bounds mismatches, and the
+// exposition/log formats must carry every sample. Runs under the
+// ASan+UBSan and TSan CI jobs via the obs_ test-name prefix.
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ptucker {
+namespace obs {
+namespace {
+
+// Concurrency sweep: 1 (trivial), 4 (one writer per stripe group), 13
+// (odd, not a divisor of the 16 stripes — exercises stripe sharing).
+const int kThreadCounts[] = {1, 4, 13};
+
+TEST(ObsCounterTest, ExactUnderConcurrentWriters) {
+  for (const int threads : kThreadCounts) {
+    Counter counter;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&counter] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+    EXPECT_EQ(counter.Value(), kPerThread * static_cast<std::uint64_t>(threads))
+        << threads << " threads";
+  }
+}
+
+TEST(ObsCounterTest, DeltaIncrementsAccumulate) {
+  Counter counter;
+  counter.Increment(5);
+  counter.Increment();
+  counter.Increment(94);
+  EXPECT_EQ(counter.Value(), 100u);
+}
+
+TEST(ObsGaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(42);
+  EXPECT_EQ(gauge.Value(), 42);
+  gauge.Add(-50);
+  EXPECT_EQ(gauge.Value(), -8);
+}
+
+TEST(ObsHistogramTest, BucketAssignmentFollowsLeConvention) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);   // <= 1.0
+  histogram.Observe(1.0);   // <= 1.0 (le is inclusive)
+  histogram.Observe(1.5);   // <= 2.0
+  histogram.Observe(4.0);   // <= 4.0
+  histogram.Observe(100.0); // +Inf
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.counts.size(), 3u);
+  EXPECT_EQ(snapshot.counts[0], 2u);  // cumulative
+  EXPECT_EQ(snapshot.counts[1], 3u);
+  EXPECT_EQ(snapshot.counts[2], 4u);
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(ObsHistogramTest, MergeIsExactAndDeterministicAcrossThreadCounts) {
+  // The same observation multiset, spread over 1/4/13 threads, must
+  // merge to the same counts — and the counts must be exact, not
+  // sampled: per-thread stripes never drop an observation.
+  HistogramSnapshot reference;
+  for (std::size_t variant = 0; variant < 3; ++variant) {
+    const int threads = kThreadCounts[variant];
+    Histogram histogram(ExponentialBuckets(1e-3, 2.0, 10));
+    constexpr int kTotal = 60000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&histogram, threads, t] {
+        // Every thread observes a disjoint residue class of the same
+        // global sequence, so the union is thread-count independent.
+        for (int i = t; i < kTotal; i += threads) {
+          histogram.Observe(1e-3 * static_cast<double>(1 + i % 2048));
+        }
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+    const HistogramSnapshot snapshot = histogram.Snapshot();
+    EXPECT_EQ(snapshot.count, static_cast<std::uint64_t>(kTotal));
+    if (variant == 0) {
+      reference = snapshot;
+    } else {
+      EXPECT_EQ(snapshot.counts, reference.counts) << threads << " threads";
+      EXPECT_EQ(snapshot.count, reference.count) << threads << " threads";
+      EXPECT_NEAR(snapshot.sum, reference.sum, 1e-6 * reference.sum);
+    }
+  }
+}
+
+TEST(ObsHistogramTest, ApproxPercentileReturnsCoveringBound) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  for (int i = 0; i < 90; ++i) histogram.Observe(0.5);
+  for (int i = 0; i < 10; ++i) histogram.Observe(50.0);
+  EXPECT_DOUBLE_EQ(histogram.ApproxPercentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.ApproxPercentile(99.0), 100.0);
+}
+
+TEST(ObsHistogramTest, RejectsMalformedBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsBucketsTest, ExponentialLadderAndValidation) {
+  const std::vector<double> bounds = ExponentialBuckets(1.0, 2.0, 4);
+  EXPECT_EQ(bounds, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_THROW(ExponentialBuckets(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(ExponentialBuckets(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(ExponentialBuckets(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(ObsRegistryTest, GetOrCreateIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("requests", "help");
+  EXPECT_EQ(counter, registry.GetCounter("requests", "other help"));
+  Gauge* gauge = registry.GetGauge("depth", "help");
+  EXPECT_EQ(gauge, registry.GetGauge("depth", "help"));
+  Histogram* histogram =
+      registry.GetHistogram("latency", "help", {1.0, 2.0});
+  EXPECT_EQ(histogram, registry.GetHistogram("latency", "help", {1.0, 2.0}));
+}
+
+TEST(ObsRegistryTest, TypeAndBoundsMismatchesThrow) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests", "help");
+  EXPECT_THROW(registry.GetGauge("requests", "help"), std::invalid_argument);
+  EXPECT_THROW(registry.GetHistogram("requests", "help", {1.0}),
+               std::invalid_argument);
+  registry.GetHistogram("latency", "help", {1.0, 2.0});
+  EXPECT_THROW(registry.GetHistogram("latency", "help", {1.0, 4.0}),
+               std::invalid_argument);
+}
+
+TEST(ObsRegistryTest, ConcurrentGetOrCreateReturnsOneInstance) {
+  for (const int threads : kThreadCounts) {
+    MetricsRegistry registry;
+    std::vector<Counter*> seen(static_cast<std::size_t>(threads), nullptr);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&registry, &seen, t] {
+        Counter* counter = registry.GetCounter("shared", "help");
+        counter->Increment();
+        seen[static_cast<std::size_t>(t)] = counter;
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+    for (Counter* counter : seen) EXPECT_EQ(counter, seen[0]);
+    EXPECT_EQ(seen[0]->Value(), static_cast<std::uint64_t>(threads));
+  }
+}
+
+TEST(ObsRegistryTest, ExpositionTextCarriesEverySampleKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("ptucker_requests_total", "Requests seen.")
+      ->Increment(7);
+  registry.GetGauge("ptucker_queue_depth", "Queued requests.")->Set(-3);
+  Histogram* histogram = registry.GetHistogram(
+      "ptucker_latency_seconds", "Request latency.", {0.5, 2.0});
+  histogram->Observe(0.1);
+  histogram->Observe(1.0);
+  histogram->Observe(9.0);
+
+  const std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("# HELP ptucker_requests_total Requests seen.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ptucker_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptucker_requests_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ptucker_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptucker_queue_depth -3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ptucker_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptucker_latency_seconds_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptucker_latency_seconds_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptucker_latency_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptucker_latency_seconds_count 3\n"),
+            std::string::npos);
+}
+
+TEST(ObsRegistryTest, LogLineIsCompactNameValue) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total", "help")->Increment(2);
+  registry.GetGauge("a_depth", "help")->Set(5);
+  Histogram* histogram = registry.GetHistogram("c_seconds", "help", {1.0});
+  histogram->Observe(0.25);
+  // Names sort, histograms expand to _count/_sum.
+  EXPECT_EQ(registry.LogLine(),
+            "a_depth=5 b_total=2 c_seconds_count=1 c_seconds_sum=0.25");
+}
+
+TEST(ObsRegistryTest, GlobalRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ptucker

@@ -1,0 +1,91 @@
+# Telemetry smoke test: METRICS round-trips through `ptucker_cli stats`
+# against a live serve. Trains a tiny model, runs a bounded serve on an
+# ephemeral port with --metrics-log-ms enabled, scrapes it with the
+# stats subcommand from a second CLI process, and checks that the
+# Prometheus-style exposition text (docs/observability.md) and the
+# periodic metrics log lines both appear. The wire-level METRICS opcode
+# itself is covered by tests/serve/net/metrics_opcode_test.cc; this
+# exercises the operator-facing path end to end over real TCP.
+#
+# Invoked by ctest as:
+#   cmake -DPTUCKER_CLI=<path> -DWORK_DIR=<dir> -P stats_smoke.cmake
+
+if(NOT PTUCKER_CLI)
+  message(FATAL_ERROR "PTUCKER_CLI not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(model_path ${WORK_DIR}/stats_smoke_model.ptks)
+set(serve_log ${WORK_DIR}/stats_smoke_serve.log)
+file(REMOVE ${model_path} ${serve_log})
+
+# 1. Train on synthetic data and checkpoint the model.
+execute_process(
+  COMMAND ${PTUCKER_CLI} --selftest --max-iters 2 --seed 7 --quiet
+          --save-model ${model_path}
+  OUTPUT_VARIABLE train_out
+  ERROR_VARIABLE train_err
+  RESULT_VARIABLE train_rc
+)
+if(NOT train_rc EQUAL 0)
+  message(FATAL_ERROR "training exited with ${train_rc}\n"
+                      "stdout:\n${train_out}\nstderr:\n${train_err}")
+endif()
+
+# 2. Background a bounded serve, discover its ephemeral port from the
+# startup banner, scrape it with `ptucker_cli stats`, then wait for the
+# serve to exit cleanly. Needs a shell for the background process; the
+# CI and dev environments are POSIX.
+execute_process(
+  COMMAND sh -ec "\
+'${PTUCKER_CLI}' serve --load-model '${model_path}' --port 0 \
+    --serve-seconds 5 --metrics-log-ms 500 > '${serve_log}' 2>&1 & \
+serve_pid=$!; \
+port=''; \
+for i in $(seq 1 100); do \
+  port=$(sed -n 's/.*serving on port \\([0-9][0-9]*\\).*/\\1/p' \
+         '${serve_log}' | head -n 1); \
+  [ -n \"$port\" ] && break; \
+  sleep 0.1; \
+done; \
+if [ -z \"$port\" ]; then \
+  echo 'serve never reported a port'; cat '${serve_log}'; exit 1; \
+fi; \
+'${PTUCKER_CLI}' stats 127.0.0.1:$port; \
+wait $serve_pid"
+  OUTPUT_VARIABLE scrape_out
+  ERROR_VARIABLE scrape_err
+  RESULT_VARIABLE scrape_rc
+)
+if(NOT scrape_rc EQUAL 0)
+  message(FATAL_ERROR "stats scrape failed with ${scrape_rc}\n"
+                      "stdout:\n${scrape_out}\nstderr:\n${scrape_err}")
+endif()
+
+# 3. The scrape returned real exposition text: HELP/TYPE comments plus
+# the serve metric families.
+foreach(needle
+        "# TYPE ptucker_serve_requests_total counter"
+        "ptucker_serve_predict_latency_seconds_bucket"
+        "ptucker_serve_queue_depth"
+        "ptucker_serve_shed_total")
+  if(NOT scrape_out MATCHES "${needle}")
+    message(FATAL_ERROR "missing '${needle}' in stats output:\n${scrape_out}")
+  endif()
+endforeach()
+
+# 4. The serve logged periodic metrics lines on the --metrics-log-ms
+# cadence and shut down cleanly.
+file(READ ${serve_log} serve_out)
+if(NOT serve_out MATCHES "metrics: ")
+  message(FATAL_ERROR "missing --metrics-log-ms lines in:\n${serve_out}")
+endif()
+if(NOT serve_out MATCHES "stopped after 5s")
+  message(FATAL_ERROR "missing clean-shutdown line in:\n${serve_out}")
+endif()
+
+file(REMOVE ${model_path} ${serve_log})
+message(STATUS "stats_smoke passed")

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "util/stopwatch.h"
+#include "obs/stopwatch.h"
 
 namespace ptucker {
 namespace {

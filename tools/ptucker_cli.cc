@@ -8,6 +8,7 @@
 //   topk           top-K completions along one mode from a saved snapshot
 //   convert-model  rewrite a snapshot as format v2 with IVF centroids
 //   serve          serve a snapshot over TCP (epoll + batch coalescing)
+//   stats          fetch live telemetry from a running serve (host:port)
 //   gen-stream     write a simulated tensor + timestamped event stream
 //   replay         stream an event log through the ingest pipeline
 //
@@ -88,6 +89,12 @@
 //                         the replay from its checkpoint
 //   --workers N           solve: worker processes, [1, 64] (default 2)
 //   --transport NAME      solve: socketpair (default) | tcp | inprocess
+//   --trace-out PATH      record phase spans and write them as Chrome
+//                         trace-event JSON on exit (chrome://tracing;
+//                         docs/observability.md)
+//   --metrics-log-ms N    serve: log one compact metrics line every N ms
+//                         (0 = off, the default; [0, 3600000])
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -111,6 +118,9 @@
 #include "distributed/proc/dist_solver.h"
 #include "linalg/matrix_io.h"
 #include "data/movielens_sim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/net/client.h"
 #include "serve/net/server.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -145,6 +155,9 @@ constexpr SubcommandDescriptor kSubcommands[] = {
     {"serve",
      "serve --load-model over TCP: epoll loops + cross-client batch "
      "coalescing (docs/serving.md)"},
+    {"stats",
+     "fetch live telemetry from a running serve: `stats host:port` prints "
+     "the METRICS exposition text (docs/observability.md)"},
     {"gen-stream",
      "simulate a tensor (--output-tensor) + timestamped event stream "
      "(--events)"},
@@ -210,6 +223,9 @@ struct CliConfig {
   std::string checkpoint_dir;          // replay
   std::int64_t dist_workers = 2;       // solve
   std::string dist_transport = "socketpair";
+  std::string stats_target;            // stats: the host:port positional
+  std::string trace_out;               // --trace-out; empty = tracing off
+  std::int64_t metrics_log_ms = 0;     // serve; 0 = no periodic log line
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -234,7 +250,8 @@ void PrintUsageAndExit() {
       "                  [--worker-threads N] [--max-batch B] "
       "[--batch-window-us U]\n"
       "                  [--queue-capacity Q] [--serve-seconds S]\n"
-      "                  [--overload-timeout-ms D]\n"
+      "                  [--overload-timeout-ms D] [--metrics-log-ms N]\n"
+      "       ptucker_cli stats HOST:PORT\n"
       "       ptucker_cli gen-stream --output-tensor X.tns --events E.log\n"
       "                  [--num-events N] [--update-fraction F]\n"
       "                  [--delete-fraction F] [--max-timestamp-step N]\n"
@@ -271,8 +288,10 @@ void PrintUsageAndExit() {
       "          --index i1,... --k K --topk-nprobe N|all\n"
       "serving:  --port --listen-threads --worker-threads --max-batch\n"
       "          --batch-window-us --queue-capacity --serve-seconds\n"
-      "          --overload-timeout-ms\n"
+      "          --overload-timeout-ms --metrics-log-ms\n"
       "          (wire protocol and semantics: docs/serving.md)\n"
+      "observability: --trace-out PATH (Chrome trace-event JSON of phase\n"
+      "          spans, written on exit; docs/observability.md)\n"
       "stream:   --output-tensor --events --num-events --update-fraction\n"
       "          --delete-fraction --max-timestamp-step --flush-every\n"
       "          --checkpoint-every --checkpoint-dir\n"
@@ -346,6 +365,12 @@ CliConfig ParseArgs(int argc, char** argv) {
     std::string arg = argv[i];
     has_inline_value = false;
     if (arg.empty() || arg[0] != '-') {
+      // `stats` is the one subcommand with a positional operand: the
+      // host:port of the serve to query.
+      if (config.subcommand == "stats" && config.stats_target.empty()) {
+        config.stats_target = arg;
+        continue;
+      }
       Fail("unexpected positional argument '" + arg +
            "' (only one leading subcommand is accepted; subcommands: " +
            SubcommandNames() + ")");
@@ -440,6 +465,9 @@ CliConfig ParseArgs(int argc, char** argv) {
     else if (arg == "--workers")
       config.dist_workers = std::stoll(need_value(i));
     else if (arg == "--transport") config.dist_transport = need_value(i);
+    else if (arg == "--trace-out") config.trace_out = need_value(i);
+    else if (arg == "--metrics-log-ms")
+      config.metrics_log_ms = std::stoll(need_value(i));
     else Fail("unknown flag: " + arg);
     if (has_inline_value) Fail("flag does not take a value: " + arg);
   }
@@ -527,6 +555,10 @@ CliConfig ParseArgs(int argc, char** argv) {
       config.dist_transport != "tcp" && config.dist_transport != "inprocess") {
     Fail("unknown --transport '" + config.dist_transport +
          "'; expected socketpair, tcp, or inprocess");
+  }
+  if (config.metrics_log_ms < 0 || config.metrics_log_ms > 3600000) {
+    Fail("--metrics-log-ms must be in [0, 3600000], got " +
+         std::to_string(config.metrics_log_ms));
   }
   return config;
 }
@@ -655,8 +687,28 @@ int RunServe(const CliConfig& config) {
               static_cast<long long>(options.max_batch),
               static_cast<long long>(options.batch_window_us));
   std::fflush(stdout);
+
+  // --metrics-log-ms: a detached cadence thread printing one compact
+  // line from the global registry (the same registry the METRICS opcode
+  // serves), for headless runs with no scraper attached.
+  std::atomic<bool> log_stop{false};
+  std::thread logger;
+  if (config.metrics_log_ms > 0) {
+    logger = std::thread([&config, &log_stop] {
+      while (!log_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config.metrics_log_ms));
+        if (log_stop.load(std::memory_order_relaxed)) break;
+        std::printf("metrics: %s\n", obs::GlobalMetrics().LogLine().c_str());
+        std::fflush(stdout);
+      }
+    });
+  }
+
   if (config.serve_seconds > 0) {
     std::this_thread::sleep_for(std::chrono::seconds(config.serve_seconds));
+    log_stop.store(true, std::memory_order_relaxed);
+    if (logger.joinable()) logger.join();
     server.Stop();
     const std::vector<std::uint64_t> counters = server.stats().ToVector();
     std::printf("stopped after %llds: %llu connections, %llu requests, "
@@ -670,6 +722,29 @@ int RunServe(const CliConfig& config) {
   while (true) {
     std::this_thread::sleep_for(std::chrono::hours(1));
   }
+}
+
+// stats: one METRICS round trip against a live serve — the exposition
+// text lands on stdout, ready for a scraper or a grep.
+int RunStats(const CliConfig& config) {
+  if (config.stats_target.empty()) {
+    Fail("stats requires a HOST:PORT argument (e.g. 127.0.0.1:7070)");
+  }
+  const std::size_t colon = config.stats_target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= config.stats_target.size()) {
+    Fail("stats target must be HOST:PORT, got '" + config.stats_target + "'");
+  }
+  const std::string host = config.stats_target.substr(0, colon);
+  char* end = nullptr;
+  const long port =
+      std::strtol(config.stats_target.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port < 1 || port > 65535) {
+    Fail("bad port in stats target '" + config.stats_target + "'");
+  }
+  NetClient client(host, static_cast<int>(port));
+  std::fputs(client.Metrics().c_str(), stdout);
+  return 0;
 }
 
 // gen-stream: write a simulated MovieLens-style tensor plus the
@@ -1066,17 +1141,40 @@ int Run(const CliConfig& config) {
 
 }  // namespace
 
+namespace {
+
+int Dispatch(const CliConfig& config) {
+  if (config.subcommand == "solve") return RunSolve(config);
+  if (config.subcommand == "predict") return RunPredict(config);
+  if (config.subcommand == "topk") return RunTopk(config);
+  if (config.subcommand == "convert-model") return RunConvertModel(config);
+  if (config.subcommand == "serve") return RunServe(config);
+  if (config.subcommand == "stats") return RunStats(config);
+  if (config.subcommand == "gen-stream") return RunGenStream(config);
+  if (config.subcommand == "replay") return RunReplay(config);
+  return Run(config);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
     const CliConfig config = ParseArgs(argc, argv);
-    if (config.subcommand == "solve") return RunSolve(config);
-    if (config.subcommand == "predict") return RunPredict(config);
-    if (config.subcommand == "topk") return RunTopk(config);
-    if (config.subcommand == "convert-model") return RunConvertModel(config);
-    if (config.subcommand == "serve") return RunServe(config);
-    if (config.subcommand == "gen-stream") return RunGenStream(config);
-    if (config.subcommand == "replay") return RunReplay(config);
-    return Run(config);
+    // --trace-out turns the global tracer on for the whole run and
+    // flushes the merged spans (all ranks, in a distributed solve) as
+    // Chrome trace-event JSON on the way out.
+    if (!config.trace_out.empty()) obs::Tracer::Global().Enable();
+    const int rc = Dispatch(config);
+    if (!config.trace_out.empty()) {
+      std::string error;
+      if (!obs::Tracer::Global().WriteChromeTrace(config.trace_out, &error)) {
+        std::fprintf(stderr, "ptucker_cli: cannot write trace: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      std::printf("trace written to %s\n", config.trace_out.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ptucker_cli: error: %s\n", e.what());
     return 1;
